@@ -1,0 +1,50 @@
+//! Baseline persistent-memory allocators for comparison with NVAlloc.
+//!
+//! Five allocators modelled after the systems the paper evaluates against,
+//! all running on the same [`nvalloc_pmem`] substrate and the same extent
+//! manager (in-place region headers — the §3.3 behaviour), so that the
+//! differences the benchmarks measure are exactly the *metadata policies*
+//! the paper attributes its wins to:
+//!
+//! | Baseline | Small-block metadata | Consistency | Threading |
+//! |---|---|---|---|
+//! | [`BaselineKind::Pmdk`] | sequential bitmaps | per-op redo-WAL **with commit mark** (reflushes its own line) | arenas |
+//! | [`BaselineKind::NvmMalloc`] | sequential bitmaps | per-op WAL **with invalidation** | arenas |
+//! | [`BaselineKind::Pallocator`] | 2 B per-block state array | per-thread micro-logs with invalidation | per-thread heaps |
+//! | [`BaselineKind::Makalu`] | embedded free lists, persisted on every free | post-crash conservative GC | arenas |
+//! | [`BaselineKind::Ralloc`] | embedded free lists, batched persistence | post-crash GC (partial scan) | arenas + thread caches |
+//!
+//! All five use **static slab segregation** (no morphing) — the
+//! fragmentation behaviour of Fig. 1b — and none interleaves its metadata.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use nvalloc::api::{AllocThread, PmAllocator};
+//! use nvalloc_baselines::{Baseline, BaselineKind};
+//! use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pool = PmemPool::new(PmemConfig::default()
+//!     .pool_size(32 << 20)
+//!     .latency_mode(LatencyMode::Off));
+//! let alloc = Baseline::create(Arc::clone(&pool), BaselineKind::Pmdk)?;
+//! let mut t = alloc.thread();
+//! let root = alloc.root_offset(0);
+//! let addr = t.malloc_to(100, root)?;
+//! assert_eq!(pool.read_u64(root), addr);
+//! t.free_from(root)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod policy;
+mod recovery;
+
+pub use engine::{Baseline, BaselineThread};
+pub use policy::{BaselineKind, MetaScheme, Policy, WalScheme};
+pub use recovery::BaselineRecovery;

@@ -1,0 +1,174 @@
+//! Per-baseline policy definitions.
+
+/// How a baseline records per-block allocation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaScheme {
+    /// One bit per block in a sequential (non-interleaved) bitmap in the
+    /// slab header; persisted per op by strongly consistent baselines.
+    SeqBitmap,
+    /// A 2-byte state word per block in the slab header (PAllocator's page
+    /// headers).
+    StateArray,
+    /// Embedded free lists: each free block's first word points to the
+    /// next; the chain head lives in the slab header.
+    ///
+    /// `persist_every_free = true` (Makalu) flushes the block link *and*
+    /// the header head on every free; `false` (Ralloc) batches `batch`
+    /// frees per header flush.
+    EmbeddedList {
+        /// Flush the chain on every free (Makalu) or in batches (Ralloc).
+        persist_every_free: bool,
+        /// Batch size for deferred persistence.
+        batch: usize,
+    },
+}
+
+/// Write-ahead-log behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalScheme {
+    /// No WAL (GC-based baselines).
+    None,
+    /// Per-op redo entry plus a **commit mark** written to the same entry
+    /// after the operation — the second flush reflushes the entry's cache
+    /// line (PMDK).
+    PerOpCommit,
+    /// Per-op entry plus an **invalidation** write after the operation
+    /// (nvm_malloc); same reflush pattern, different recovery cost.
+    PerOpInvalidate,
+    /// Per-thread micro-logs with invalidation (PAllocator).
+    ThreadMicroInvalidate,
+}
+
+/// A baseline's complete policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Policy {
+    /// Display name.
+    pub name: &'static str,
+    /// Block metadata scheme.
+    pub meta: MetaScheme,
+    /// WAL scheme.
+    pub wal: WalScheme,
+    /// Per-class thread-cache capacity (0 disables the cache).
+    pub tcache_cap: usize,
+    /// Give every thread a private heap (PAllocator) instead of sharing
+    /// arenas.
+    pub per_thread_heaps: bool,
+    /// Number of shared arenas (ignored with per-thread heaps).
+    pub arenas: usize,
+    /// Strongly consistent: flush block metadata and destination slots on
+    /// every operation.
+    pub strong: bool,
+    /// Extra transaction-log records written (and flushed) per operation,
+    /// beyond the redo entry: PMDK's transactional allocator also snapshots
+    /// the destination into an undo log.
+    pub extra_tx_entries: usize,
+}
+
+/// The five baselines of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// PMDK 1.11-like (libpmemobj allocator).
+    Pmdk,
+    /// nvm_malloc-like (Schwalb et al., ADMS'15).
+    NvmMalloc,
+    /// PAllocator-like (Oukid et al., VLDB'17).
+    Pallocator,
+    /// Makalu-like (Bhandari et al., OOPSLA'16).
+    Makalu,
+    /// Ralloc-like (Cai et al., ISMM'20).
+    Ralloc,
+}
+
+impl BaselineKind {
+    /// All baselines, in the paper's usual presentation order.
+    pub const ALL: [BaselineKind; 5] = [
+        BaselineKind::Pmdk,
+        BaselineKind::NvmMalloc,
+        BaselineKind::Pallocator,
+        BaselineKind::Makalu,
+        BaselineKind::Ralloc,
+    ];
+
+    /// The strongly consistent subset (Figs. 9/20).
+    pub const STRONG: [BaselineKind; 3] =
+        [BaselineKind::Pmdk, BaselineKind::NvmMalloc, BaselineKind::Pallocator];
+
+    /// The weakly consistent subset (Fig. 10).
+    pub const WEAK: [BaselineKind; 2] = [BaselineKind::Makalu, BaselineKind::Ralloc];
+
+    /// The policy this baseline runs with.
+    pub fn policy(self) -> Policy {
+        match self {
+            BaselineKind::Pmdk => Policy {
+                name: "PMDK",
+                meta: MetaScheme::SeqBitmap,
+                wal: WalScheme::PerOpCommit,
+                tcache_cap: 32,
+                per_thread_heaps: false,
+                arenas: 4,
+                strong: true,
+                extra_tx_entries: 1,
+            },
+            BaselineKind::NvmMalloc => Policy {
+                name: "nvm_malloc",
+                meta: MetaScheme::SeqBitmap,
+                wal: WalScheme::PerOpInvalidate,
+                tcache_cap: 32,
+                per_thread_heaps: false,
+                arenas: 4,
+                strong: true,
+                extra_tx_entries: 0,
+            },
+            BaselineKind::Pallocator => Policy {
+                name: "PAllocator",
+                meta: MetaScheme::StateArray,
+                wal: WalScheme::ThreadMicroInvalidate,
+                tcache_cap: 32,
+                per_thread_heaps: true,
+                arenas: 1,
+                strong: true,
+                extra_tx_entries: 0,
+            },
+            BaselineKind::Makalu => Policy {
+                name: "Makalu",
+                meta: MetaScheme::EmbeddedList { persist_every_free: true, batch: 1 },
+                wal: WalScheme::None,
+                tcache_cap: 32,
+                per_thread_heaps: false,
+                arenas: 4,
+                strong: false,
+                extra_tx_entries: 0,
+            },
+            BaselineKind::Ralloc => Policy {
+                name: "Ralloc",
+                meta: MetaScheme::EmbeddedList { persist_every_free: false, batch: 32 },
+                wal: WalScheme::None,
+                tcache_cap: 64,
+                per_thread_heaps: false,
+                arenas: 4,
+                strong: false,
+                extra_tx_entries: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_match_their_papers() {
+        assert!(BaselineKind::Pmdk.policy().strong);
+        assert!(BaselineKind::NvmMalloc.policy().strong);
+        assert!(BaselineKind::Pallocator.policy().per_thread_heaps);
+        assert!(!BaselineKind::Makalu.policy().strong);
+        assert_eq!(BaselineKind::Makalu.policy().wal, WalScheme::None);
+        assert!(matches!(
+            BaselineKind::Ralloc.policy().meta,
+            MetaScheme::EmbeddedList { persist_every_free: false, .. }
+        ));
+        // Strong + weak partitions cover everything except each other.
+        assert_eq!(BaselineKind::STRONG.len() + BaselineKind::WEAK.len(), BaselineKind::ALL.len());
+    }
+}

@@ -1,0 +1,370 @@
+//! Behavioural tests for the five baseline allocators: correctness across
+//! policies, the pathologies the paper measures (reflushes, random writes,
+//! static segregation), and recovery.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use nvalloc::api::PmAllocator;
+use nvalloc_baselines::{Baseline, BaselineKind};
+use nvalloc_pmem::{FlushKind, LatencyMode, PmemConfig, PmemPool};
+
+fn pool(bytes: usize, mode: LatencyMode) -> Arc<PmemPool> {
+    PmemPool::new(PmemConfig::default().pool_size(bytes).latency_mode(mode))
+}
+
+#[test]
+fn roundtrip_every_baseline() {
+    for kind in BaselineKind::ALL {
+        let p = pool(32 << 20, LatencyMode::Off);
+        let a = Baseline::create(Arc::clone(&p), kind).unwrap();
+        let mut t = a.thread();
+        let root = a.root_offset(0);
+        let addr = t.malloc_to(100, root).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        assert_eq!(p.read_u64(root), addr, "{kind:?}");
+        assert!(a.live_bytes() >= 100);
+        t.free_from(root).unwrap();
+        assert!(t.free_from(root).is_err(), "{kind:?}: double free");
+        assert_eq!(a.live_bytes(), 0);
+    }
+}
+
+#[test]
+fn no_overlap_mixed_sizes_every_baseline() {
+    for kind in BaselineKind::ALL {
+        let p = pool(64 << 20, LatencyMode::Off);
+        let a = Baseline::create(Arc::clone(&p), kind).unwrap();
+        let mut t = a.thread();
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for i in 0..250usize {
+            let sz = [16, 100, 112, 600, 1024, 9000, 20_000, 80_000][i % 8];
+            let addr = t.malloc_to(sz, a.root_offset(i)).unwrap();
+            let end = addr + sz as u64;
+            for &(s, e) in &ranges {
+                assert!(end <= s || addr >= e, "{kind:?}: overlap at {addr:#x}");
+            }
+            ranges.push((addr, end));
+        }
+    }
+}
+
+#[test]
+fn churn_reuses_memory_every_baseline() {
+    for kind in BaselineKind::ALL {
+        let p = pool(32 << 20, LatencyMode::Off);
+        let a = Baseline::create(Arc::clone(&p), kind).unwrap();
+        let mut t = a.thread();
+        let root = a.root_offset(0);
+        for i in 0..5000 {
+            t.malloc_to(64 + i % 512, root).unwrap_or_else(|e| panic!("{kind:?}@{i}: {e}"));
+            t.free_from(root).unwrap();
+        }
+        assert!(
+            a.heap_mapped_bytes() <= 8 << 20,
+            "{kind:?}: churn must not grow the heap ({})",
+            a.heap_mapped_bytes()
+        );
+    }
+}
+
+#[test]
+fn multithreaded_every_baseline() {
+    for kind in BaselineKind::ALL {
+        let p = pool(128 << 20, LatencyMode::Off);
+        let a = Baseline::create(Arc::clone(&p), kind).unwrap();
+        std::thread::scope(|s| {
+            for k in 0..4usize {
+                let a = a.clone();
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    let mut t = a.thread();
+                    for i in 0..300usize {
+                        let slot = k * 300 + i;
+                        let addr = t.malloc_to(32 + i % 800, a.root_offset(slot)).unwrap();
+                        p.write_u64(addr, slot as u64);
+                        if i % 2 == 0 {
+                            t.free_from(a.root_offset(slot)).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        // Verify survivors.
+        for slot in 0..1200usize {
+            let addr = p.read_u64(a.root_offset(slot));
+            if addr != 0 {
+                assert_eq!(p.read_u64(addr), slot as u64, "{kind:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_thread_free_every_baseline() {
+    // Prod-con / Larson pattern, including PAllocator's remote-heap path.
+    for kind in BaselineKind::ALL {
+        let p = pool(64 << 20, LatencyMode::Off);
+        let a = Baseline::create(Arc::clone(&p), kind).unwrap();
+        let mut producer = a.thread();
+        for i in 0..200 {
+            producer.malloc_to(64 + i % 300, a.root_offset(i)).unwrap();
+        }
+        std::thread::scope(|s| {
+            let a2 = a.clone();
+            s.spawn(move || {
+                let mut consumer = a2.thread();
+                for i in 0..200 {
+                    consumer.free_from(a2.root_offset(i)).unwrap();
+                }
+            });
+        });
+        assert_eq!(a.live_bytes(), 0, "{kind:?}");
+    }
+}
+
+#[test]
+fn strong_baselines_reflush_heavily() {
+    // Fig. 1a: PMDK / nvm_malloc / PAllocator reflush 40–99.7 % of flushes
+    // on fixed-size allocation streams.
+    for kind in BaselineKind::STRONG {
+        let p = pool(64 << 20, LatencyMode::Virtual);
+        let a = Baseline::create(Arc::clone(&p), kind).unwrap();
+        let mut t = a.thread();
+        for i in 0..64 {
+            t.malloc_to(64, a.root_offset(i * 8)).unwrap();
+        }
+        p.stats().reset();
+        for i in 64..512 {
+            t.malloc_to(64, a.root_offset(i * 8)).unwrap();
+        }
+        let pct = p.stats().snapshot().allocator_reflush_pct();
+        assert!(pct > 50.0, "{kind:?}: expected heavy reflushing, got {pct:.1}%");
+    }
+}
+
+#[test]
+fn pmdk_reflushes_more_than_nvalloc_log() {
+    let measure = |mk: &dyn Fn(Arc<PmemPool>) -> Box<dyn PmAllocator>| {
+        let p = pool(64 << 20, LatencyMode::Virtual);
+        let a = mk(Arc::clone(&p));
+        let mut t = a.thread();
+        for i in 0..64 {
+            t.malloc_to(64, a.root_offset(i * 8)).unwrap();
+        }
+        p.stats().reset();
+        for i in 64..512 {
+            t.malloc_to(64, a.root_offset(i * 8)).unwrap();
+        }
+        p.stats().snapshot().allocator_reflush_pct()
+    };
+    let pmdk = measure(&|p| Box::new(Baseline::create(p, BaselineKind::Pmdk).unwrap()));
+    let nv = measure(&|p| {
+        Box::new(nvalloc::NvAllocator::create(p, nvalloc::NvConfig::log()).unwrap())
+    });
+    assert!(pmdk > 55.0, "PMDK reflush {pmdk:.1}%");
+    assert!(nv < 5.0, "NVAlloc-LOG reflush {nv:.1}%");
+}
+
+#[test]
+fn weak_baselines_flush_less_but_makalu_flushes_on_free() {
+    let p = pool(64 << 20, LatencyMode::Virtual);
+    let a = Baseline::create(Arc::clone(&p), BaselineKind::Makalu).unwrap();
+    let mut t = a.thread();
+    for i in 0..200 {
+        t.malloc_to(64, a.root_offset(i)).unwrap();
+    }
+    p.stats().reset();
+    // Makalu allocation path: no flushes.
+    for i in 200..260 {
+        t.malloc_to(64, a.root_offset(i)).unwrap();
+    }
+    assert_eq!(p.stats().flushes(), 0, "Makalu alloc must not flush");
+    // Free path: block link + header per free, with header reflushes.
+    for i in 0..60 {
+        t.free_from(a.root_offset(i)).unwrap();
+    }
+    let s = p.stats().snapshot();
+    assert!(s.flushes >= 120, "Makalu frees must flush ({})", s.flushes);
+    assert!(s.reflushes > 30, "header updates must reflush ({})", s.reflushes);
+}
+
+#[test]
+fn ralloc_frees_cheaper_than_makalu() {
+    let run = |kind: BaselineKind| {
+        let p = pool(64 << 20, LatencyMode::Virtual);
+        let a = Baseline::create(Arc::clone(&p), kind).unwrap();
+        let mut t = a.thread();
+        for i in 0..512 {
+            t.malloc_to(64, a.root_offset(i)).unwrap();
+        }
+        p.stats().reset();
+        for i in 0..512 {
+            t.free_from(a.root_offset(i)).unwrap();
+        }
+        p.stats().flushes()
+    };
+    let makalu = run(BaselineKind::Makalu);
+    let ralloc = run(BaselineKind::Ralloc);
+    assert!(
+        ralloc * 3 < makalu * 2,
+        "Ralloc batching should flush notably less (ralloc={ralloc}, makalu={makalu})"
+    );
+}
+
+#[test]
+fn static_segregation_wastes_memory_vs_nvalloc_morphing() {
+    // The Fig. 1b pathology: change allocation size after deleting 90 %.
+    let run_baseline = |kind: BaselineKind| {
+        let p = pool(256 << 20, LatencyMode::Off);
+        let a = Baseline::create_with_roots(Arc::clone(&p), kind, 1 << 17).unwrap();
+        let mut t = a.thread();
+        let n = 60_000;
+        for i in 0..n {
+            t.malloc_to(100, a.root_offset(i)).unwrap();
+        }
+        for i in 0..n {
+            if i % 10 != 0 {
+                t.free_from(a.root_offset(i)).unwrap();
+            }
+        }
+        for i in 0..n {
+            t.malloc_to(130, a.root_offset(n + i)).unwrap();
+        }
+        a.heap_mapped_bytes()
+    };
+    let run_nvalloc = || {
+        let p = pool(256 << 20, LatencyMode::Off);
+        let a = nvalloc::NvAllocator::create(
+            Arc::clone(&p),
+            nvalloc::NvConfig::log().roots(1 << 17).arenas(1),
+        )
+        .unwrap();
+        let mut t = a.thread();
+        let n = 60_000;
+        for i in 0..n {
+            t.malloc_to(100, a.root_offset(i)).unwrap();
+        }
+        for i in 0..n {
+            if i % 10 != 0 {
+                t.free_from(a.root_offset(i)).unwrap();
+            }
+        }
+        for i in 0..n {
+            t.malloc_to(130, a.root_offset(n + i)).unwrap();
+        }
+        a.heap_mapped_bytes()
+    };
+    let nv = run_nvalloc();
+    for kind in [BaselineKind::Pmdk, BaselineKind::Makalu] {
+        let b = run_baseline(kind);
+        assert!(
+            nv < b,
+            "{kind:?}: NVAlloc morphing should use less memory (nv={nv}, baseline={b})"
+        );
+    }
+}
+
+#[test]
+fn inplace_headers_cause_scattered_metadata_writes() {
+    // Fig. 2: large-allocation metadata goes to per-region header areas
+    // spread across the heap.
+    let p = pool(256 << 20, LatencyMode::Virtual);
+    let a = Baseline::create(Arc::clone(&p), BaselineKind::Pmdk).unwrap();
+    let mut t = a.thread();
+    p.stats().enable_trace();
+    let mut live = Vec::new();
+    for i in 0..300usize {
+        let sz = 32 << 10 | (i % 17) << 12;
+        t.malloc_to(sz, a.root_offset(i)).unwrap();
+        live.push(i);
+        if i % 3 != 0 {
+            let v = live.remove(i % live.len());
+            t.free_from(a.root_offset(v)).unwrap();
+        }
+    }
+    let meta_addrs: Vec<u64> = p
+        .stats()
+        .trace()
+        .iter()
+        .filter(|r| r.kind == FlushKind::Meta)
+        .map(|r| r.addr)
+        .collect();
+    p.stats().disable_trace();
+    assert!(meta_addrs.len() > 100);
+    // Spread: addresses span multiple 4 MB regions.
+    let regions: std::collections::HashSet<u64> =
+        meta_addrs.iter().map(|a| a >> 22).collect();
+    assert!(regions.len() >= 2, "metadata writes should span regions ({})", regions.len());
+}
+
+#[test]
+fn recovery_after_clean_exit_every_baseline() {
+    for kind in BaselineKind::ALL {
+        let p = PmemPool::new(
+            PmemConfig::default()
+                .pool_size(64 << 20)
+                .latency_mode(LatencyMode::Off)
+                .crash_tracking(true),
+        );
+        let a = Baseline::create(Arc::clone(&p), kind).unwrap();
+        let mut t = a.thread();
+        let mut live: HashMap<usize, u64> = HashMap::new();
+        for i in 0..300usize {
+            let sz = if i % 9 == 0 { 50 << 10 } else { 32 + i % 700 };
+            let addr = t.malloc_to(sz, a.root_offset(i)).unwrap();
+            p.write_u64(addr, i as u64 + 7);
+            p.flush(t.pm_mut(), addr, 8, FlushKind::Data);
+            live.insert(i, addr);
+        }
+        for i in (0..300).step_by(3) {
+            t.free_from(a.root_offset(i)).unwrap();
+            live.remove(&i);
+        }
+        drop(t);
+        a.exit();
+
+        let reboot = PmemPool::from_crash_image(p.clean_shutdown_image());
+        let (a2, rep) = Baseline::recover(Arc::clone(&reboot), kind)
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        assert!(rep.slabs > 0, "{kind:?}");
+        let mut t2 = a2.thread();
+        for (&i, &addr) in &live {
+            assert_eq!(reboot.read_u64(a2.root_offset(i)), addr, "{kind:?} root {i}");
+            assert_eq!(reboot.read_u64(addr), i as u64 + 7, "{kind:?} payload {i}");
+            t2.free_from(a2.root_offset(i)).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        }
+        // Allocator serves new requests after recovery.
+        t2.malloc_to(128, a2.root_offset(0)).unwrap();
+    }
+}
+
+#[test]
+fn recover_wrong_kind_fails() {
+    let p = pool(32 << 20, LatencyMode::Off);
+    let _a = Baseline::create(Arc::clone(&p), BaselineKind::Pmdk).unwrap();
+    assert!(Baseline::recover(p, BaselineKind::Makalu).is_err());
+}
+
+#[test]
+fn pallocator_scales_without_shared_locks() {
+    // Sanity: per-thread heaps serve allocations from distinct slabs.
+    let p = pool(128 << 20, LatencyMode::Off);
+    let a = Baseline::create(Arc::clone(&p), BaselineKind::Pallocator).unwrap();
+    let slabs: Vec<u64> = std::thread::scope(|s| {
+        (0..4)
+            .map(|k| {
+                let a = a.clone();
+                s.spawn(move || {
+                    let mut t = a.thread();
+                    let addr = t.malloc_to(64, a.root_offset(k)).unwrap();
+                    addr & !(nvalloc::SLAB_SIZE as u64 - 1)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    let distinct: std::collections::HashSet<u64> = slabs.iter().copied().collect();
+    assert_eq!(distinct.len(), 4, "per-thread heaps must not share slabs");
+}

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks of the allocator fast paths: wall-clock cost
+//! of malloc/free pairs per allocator and per size class, plus the tcache
+//! hit path in isolation. (Latency model off — these measure the *software*
+//! overhead; the modelled-PM comparisons live in the fig* binaries.)
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+use nvalloc_workloads::allocators::Which;
+
+fn pool() -> Arc<PmemPool> {
+    PmemPool::new(
+        PmemConfig::default().pool_size(256 << 20).latency_mode(LatencyMode::Off),
+    )
+}
+
+fn bench_malloc_free(c: &mut Criterion) {
+    let mut g = c.benchmark_group("malloc_free_pair");
+    for which in [
+        Which::NvallocLog,
+        Which::NvallocGc,
+        Which::Pmdk,
+        Which::NvmMalloc,
+        Which::Pallocator,
+        Which::Makalu,
+        Which::Ralloc,
+    ] {
+        let alloc = which.create(pool());
+        let mut t = alloc.thread();
+        let root = alloc.root_offset(0);
+        g.bench_with_input(BenchmarkId::new("64B", which.name()), &(), |b, ()| {
+            b.iter(|| {
+                t.malloc_to(64, root).expect("alloc");
+                t.free_from(root).expect("free");
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_size_classes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nvalloc_log_by_size");
+    let alloc = Which::NvallocLog.create(pool());
+    let mut t = alloc.thread();
+    let root = alloc.root_offset(0);
+    for size in [8usize, 64, 256, 1024, 4096, 16 << 10, 64 << 10, 512 << 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                t.malloc_to(size, root).expect("alloc");
+                t.free_from(root).expect("free");
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tcache_hit(c: &mut Criterion) {
+    // Pure cache-hit path: alternate two slots so the tcache always has a
+    // block ready.
+    let alloc = Which::NvallocGc.create(pool());
+    let mut t = alloc.thread();
+    let r0 = alloc.root_offset(0);
+    let r1 = alloc.root_offset(1);
+    t.malloc_to(64, r0).expect("warm");
+    c.bench_function("tcache_hit_path", |b| {
+        b.iter(|| {
+            // r0 stays live, keeping the slab warm; r1 cycles through the
+            // tcache on every iteration.
+            t.malloc_to(64, r1).expect("alloc");
+            t.free_from(r1).expect("free");
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_malloc_free, bench_size_classes, bench_tcache_hit
+}
+criterion_main!(benches);

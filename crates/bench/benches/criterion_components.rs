@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks of the individual metadata mechanisms:
+//! bitmap persistence (sequential vs interleaved), WAL micro-log appends,
+//! bookkeeping-log append/delete, rtree lookups, and the morph transform.
+//! Complements `criterion_alloc` (whole-operation fast paths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvalloc::api::PmAllocator;
+use nvalloc::internals::{BitmapLayout, PmBitmap, RTree};
+use nvalloc::{NvAllocator, NvConfig};
+use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+use std::sync::Arc;
+
+fn pool(mb: usize) -> Arc<PmemPool> {
+    PmemPool::new(
+        PmemConfig::default().pool_size(mb << 20).latency_mode(LatencyMode::Off),
+    )
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap_set_persist");
+    for stripes in [1usize, 6] {
+        let p = pool(4);
+        let mut t = p.register_thread();
+        let bm = PmBitmap::new(0, BitmapLayout::new(1024, stripes));
+        let mut i = 0usize;
+        g.bench_with_input(BenchmarkId::from_parameter(stripes), &stripes, |b, _| {
+            b.iter(|| {
+                bm.set_persist(&p, &mut t, i % 1024);
+                bm.clear_persist(&p, &mut t, i % 1024);
+                i += 1;
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let tree = RTree::new();
+    for k in 0..4096u64 {
+        tree.insert_range(k * 65536, 65536, k + 1);
+    }
+    let mut k = 0u64;
+    c.bench_function("rtree_lookup", |b| {
+        b.iter(|| {
+            k = (k + 9973) % 4096;
+            assert!(tree.lookup(k * 65536 + 4096).is_some());
+        })
+    });
+}
+
+fn bench_small_paths_by_variant(c: &mut Criterion) {
+    let mut g = c.benchmark_group("variant_small_pair");
+    for (name, cfg) in [
+        ("LOG", NvConfig::log()),
+        ("GC", NvConfig::gc()),
+        ("IC", NvConfig::internal()),
+    ] {
+        let a = NvAllocator::create(pool(128), cfg).expect("create");
+        let mut t = a.thread();
+        let root = a.root_offset(0);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                t.malloc_to(64, root).expect("alloc");
+                t.free_from(root).expect("free");
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_large_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("large_extent_pair");
+    for (name, cfg) in [
+        ("booklog", NvConfig::log()),
+        ("in_place", NvConfig::base()),
+    ] {
+        let a = NvAllocator::create(pool(512), cfg).expect("create");
+        let mut t = a.thread();
+        let root = a.root_offset(0);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                t.malloc_to(128 << 10, root).expect("alloc");
+                t.free_from(root).expect("free");
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    // Recovery cost from a prepared clean image with ~1000 objects.
+    let p = PmemPool::new(
+        PmemConfig::default()
+            .pool_size(64 << 20)
+            .latency_mode(LatencyMode::Off)
+            .crash_tracking(true),
+    );
+    let a = NvAllocator::create(Arc::clone(&p), NvConfig::log()).expect("create");
+    {
+        let mut t = a.thread();
+        for i in 0..1000 {
+            t.malloc_to(64 + i % 900, a.root_offset(i)).expect("alloc");
+        }
+    }
+    a.exit();
+    let image = p.clean_shutdown_image();
+    c.bench_function("recover_1k_objects", |b| {
+        b.iter(|| {
+            let pool = PmemPool::from_crash_image(image.clone());
+            let (_a, report) =
+                NvAllocator::recover(pool, NvConfig::log()).expect("recover");
+            assert!(report.slabs > 0);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_bitmap, bench_rtree, bench_small_paths_by_variant, bench_large_path, bench_recovery
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Fig. 1a: reflush share of allocator flushes.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::motivation::run_fig01a(&scale);
+}

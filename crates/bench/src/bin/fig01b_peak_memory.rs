@@ -1,0 +1,5 @@
+//! Fig. 1b: peak memory under Fragbench.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::motivation::run_fig01b(&scale);
+}

@@ -1,0 +1,5 @@
+//! Fig. 2: metadata flush-address scatter.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::motivation::run_fig02(&scale);
+}

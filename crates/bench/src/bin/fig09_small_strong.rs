@@ -1,0 +1,5 @@
+//! Fig. 9: small allocations, strongly consistent.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::fig_small::run_fig09(&scale);
+}

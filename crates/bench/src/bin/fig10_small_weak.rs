@@ -1,0 +1,5 @@
+//! Fig. 10: small allocations, weakly consistent.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::fig_small::run_fig10(&scale);
+}

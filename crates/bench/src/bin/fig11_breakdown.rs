@@ -1,0 +1,5 @@
+//! Fig. 11: execution-time breakdown.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::breakdown::run_fig11(&scale);
+}

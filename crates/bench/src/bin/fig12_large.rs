@@ -1,0 +1,5 @@
+//! Fig. 12: large allocations.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::fig_large::run_fig12(&scale);
+}

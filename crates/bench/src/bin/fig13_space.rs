@@ -1,0 +1,5 @@
+//! Fig. 13: space consumption.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::fig_space::run_fig13(&scale);
+}

@@ -1,0 +1,5 @@
+//! Fig. 14: FPTree throughput.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::fig_fptree::run_fig14(&scale);
+}

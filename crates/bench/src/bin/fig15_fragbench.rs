@@ -1,0 +1,5 @@
+//! Fig. 15: Fragbench space + performance.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::fig_frag::run_fig15(&scale);
+}

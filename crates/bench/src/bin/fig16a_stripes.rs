@@ -1,0 +1,5 @@
+//! Fig. 16a: bit-stripe sensitivity.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::stripes::run_fig16a(&scale);
+}

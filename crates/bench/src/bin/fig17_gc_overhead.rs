@@ -1,0 +1,5 @@
+//! Fig. 17: booklog GC overhead.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::fig_large::run_fig17(&scale);
+}

@@ -1,0 +1,5 @@
+//! Fig. 18: recovery time.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::fig_recovery::run_fig18(&scale);
+}

@@ -1,0 +1,5 @@
+//! Fig. 19: stripes under eADR.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::stripes::run_fig19(&scale);
+}

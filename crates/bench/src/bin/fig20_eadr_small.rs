@@ -1,0 +1,5 @@
+//! Fig. 20: small allocations under eADR.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::fig_small::run_fig20(&scale);
+}

@@ -1,0 +1,5 @@
+//! Fig. 21: large allocations under eADR.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::fig_large::run_fig21(&scale);
+}

@@ -1,0 +1,23 @@
+//! Run every experiment in sequence (the full paper reproduction).
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    use nvalloc_bench::experiments as e;
+    e::motivation::run_tab_reflush(&scale);
+    e::motivation::run_fig01a(&scale);
+    e::motivation::run_fig01b(&scale);
+    e::motivation::run_fig02(&scale);
+    e::fig_small::run_fig09(&scale);
+    e::fig_small::run_fig10(&scale);
+    e::breakdown::run_fig11(&scale);
+    e::fig_large::run_fig12(&scale);
+    e::fig_space::run_fig13(&scale);
+    e::fig_fptree::run_fig14(&scale);
+    e::fig_frag::run_fig15(&scale);
+    e::stripes::run_fig16a(&scale);
+    e::stripes::run_fig16b(&scale);
+    e::fig_large::run_fig17(&scale);
+    e::fig_recovery::run_fig18(&scale);
+    e::stripes::run_fig19(&scale);
+    e::fig_small::run_fig20(&scale);
+    e::fig_large::run_fig21(&scale);
+}

@@ -1,0 +1,71 @@
+//! Per-operation latency distribution (beyond the paper's figures): the
+//! modelled PM latency of individual malloc/free operations per allocator,
+//! reported as p50/p90/p99/max. Shows the *tail* effect of reflushes: the
+//! WAL-based baselines' percentiles sit on the reflush plateau while
+//! NVAlloc's stay on the sequential-flush floor.
+
+use nvalloc_workloads::allocators::Which;
+use nvalloc_workloads::Reporter;
+use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p) as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    let ops = scale.ops(20_000, 2_000);
+    println!("== per-op modelled PM latency (ns), {ops} × (64 B malloc + free) ==");
+    let mut rep = Reporter::new(&[
+        "allocator",
+        "malloc p50",
+        "malloc p90",
+        "malloc p99",
+        "malloc max",
+        "free p50",
+        "free p99",
+    ]);
+    for which in [
+        Which::NvallocLog,
+        Which::NvallocGc,
+        Which::Pmdk,
+        Which::NvmMalloc,
+        Which::Pallocator,
+        Which::Makalu,
+        Which::Ralloc,
+    ] {
+        let pool = PmemPool::new(
+            PmemConfig::default().pool_size(256 << 20).latency_mode(LatencyMode::Virtual),
+        );
+        let alloc = which.create_with_roots(pool, 1 << 19);
+        let mut t = alloc.thread();
+        let mut mallocs = Vec::with_capacity(ops);
+        let mut frees = Vec::with_capacity(ops);
+        for i in 0..ops {
+            let root = alloc.root_offset((i % (1 << 16)) * 8);
+            let before = t.pm().virtual_ns();
+            t.malloc_to(64, root).expect("alloc");
+            let mid = t.pm().virtual_ns();
+            t.free_from(root).expect("free");
+            let after = t.pm().virtual_ns();
+            mallocs.push(mid - before);
+            frees.push(after - mid);
+        }
+        mallocs.sort_unstable();
+        frees.sort_unstable();
+        rep.row(&[
+            which.name(),
+            &percentile(&mallocs, 0.50).to_string(),
+            &percentile(&mallocs, 0.90).to_string(),
+            &percentile(&mallocs, 0.99).to_string(),
+            &mallocs.last().copied().unwrap_or(0).to_string(),
+            &percentile(&frees, 0.50).to_string(),
+            &percentile(&frees, 0.99).to_string(),
+        ]);
+    }
+    print!("{}", rep.render());
+}

@@ -1,0 +1,26 @@
+//! Diagnostic: per-configuration PM event counts (not a paper figure).
+use nvalloc::NvConfig;
+use nvalloc_workloads::allocators::create_custom;
+use nvalloc_workloads::threadtest;
+
+fn main() {
+    for s in [1usize, 2, 6, 16, 32] {
+        let pool = nvalloc_pmem::PmemPool::new(
+            nvalloc_pmem::PmemConfig::default()
+                .pool_size(512 << 20)
+                .latency_mode(nvalloc_pmem::LatencyMode::Virtual),
+        );
+        let cfg = NvConfig::log().stripes(s).morphing(false);
+        let alloc = create_custom(pool, cfg, 1 << 19);
+        let m = threadtest::run(
+            &alloc,
+            threadtest::Params { threads: 1, iterations: 5, objects: 400, size: 64 },
+        );
+        let st = m.stats;
+        println!(
+            "S={s:>2} flushes={} reflush={} seq={} rand={} xpmiss={} elapsed_ms={:.2}",
+            st.flushes, st.reflushes, st.seq_writes, st.rand_writes, st.xpbuf_misses,
+            m.elapsed_ms()
+        );
+    }
+}

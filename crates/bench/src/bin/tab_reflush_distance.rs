@@ -1,0 +1,5 @@
+//! §3.1: reflush latency vs. distance.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::motivation::run_tab_reflush(&scale);
+}

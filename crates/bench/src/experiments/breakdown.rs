@@ -1,0 +1,78 @@
+//! Fig. 11: execution-time breakdown of Base / +Interleaved / +Log /
+//! NVAlloc-LOG into FlushMeta, FlushWAL, FlushBook, and Other.
+
+use std::sync::Arc;
+
+use nvalloc::api::PmAllocator;
+use nvalloc::NvConfig;
+use nvalloc_pmem::FlushKind;
+use nvalloc_workloads::allocators::create_custom;
+use nvalloc_workloads::{dbmstest, larson, threadtest, BenchMeasurement, Reporter};
+
+use crate::experiments::pool_mb;
+use crate::Scale;
+
+fn configs() -> Vec<(&'static str, NvConfig)> {
+    vec![
+        ("Base", NvConfig::base()),
+        ("+Interleaved", NvConfig::base_plus_interleaved()),
+        ("+Log", NvConfig::base_plus_log()),
+        ("NVAlloc-LOG", NvConfig::log().morphing(false)),
+    ]
+}
+
+fn measure(alloc: &Arc<dyn PmAllocator>, bench: &str, scale: &Scale) -> BenchMeasurement {
+    match bench {
+        "Threadtest" => {
+            let mut p = threadtest::Params::quick(8);
+            p.iterations = scale.ops(p.iterations, 2);
+            threadtest::run(alloc, p)
+        }
+        "Larson-small" => {
+            let mut p = larson::Params::small(8);
+            p.rounds = scale.ops(p.rounds, 2);
+            larson::run(alloc, p)
+        }
+        _ => {
+            let mut p = dbmstest::Params::quick(8);
+            p.iterations = scale.ops(p.iterations, 2);
+            dbmstest::run(alloc, p)
+        }
+    }
+}
+
+/// Fig. 11: per-config breakdown at 8 threads.
+pub fn run_fig11(scale: &Scale) {
+    for bench in ["Threadtest", "Larson-small", "DBMS-test"] {
+        println!("\n== Fig 11: breakdown on {bench} (8 threads; % of modelled time) ==");
+        let mut rep = Reporter::new(&[
+            "config",
+            "FlushMeta %",
+            "FlushWAL %",
+            "FlushBook %",
+            "Other %",
+            "total (ms)",
+        ]);
+        for (name, cfg) in configs() {
+            let alloc = create_custom(pool_mb(1024), cfg, 1 << 19);
+            let m = measure(&alloc, bench, scale);
+            // Shares of the total cross-thread work: modelled PM time by
+            // attribution kind plus the CPU (search/list/lock) component.
+            let meta = m.stats.ns_of(FlushKind::Meta) as f64;
+            let wal = m.stats.ns_of(FlushKind::Wal) as f64;
+            let book = m.stats.ns_of(FlushKind::BookLog) as f64;
+            let data = m.stats.ns_of(FlushKind::Data) as f64;
+            let cpu = (m.ops * nvalloc_workloads::harness::CPU_NS_PER_OP) as f64;
+            let total = (meta + wal + book + data + cpu).max(1.0);
+            rep.row(&[
+                name,
+                &format!("{:.1}", 100.0 * meta / total),
+                &format!("{:.1}", 100.0 * wal / total),
+                &format!("{:.1}", 100.0 * book / total),
+                &format!("{:.1}", 100.0 * (data + cpu) / total),
+                &format!("{:.2}", m.elapsed_ms()),
+            ]);
+        }
+        print!("{}", rep.render());
+    }
+}

@@ -1,0 +1,81 @@
+//! Fig. 14: FPTree throughput under a 50/50 insert/delete workload, for
+//! both consistency classes.
+
+use std::sync::Arc;
+
+use nvalloc_fptree::FpTree;
+use nvalloc_workloads::allocators::Which;
+use nvalloc_workloads::Reporter;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::experiments::{mops_cell, pool_mb};
+use crate::Scale;
+
+fn run_tree(which: Which, threads: usize, warm: usize, ops: usize) -> f64 {
+    let pool = pool_mb(1024 + threads * 16);
+    let alloc = which.create_with_roots(Arc::clone(&pool), 64);
+    let tree = FpTree::new(Arc::clone(&alloc), 128).expect("tree");
+    // Warm up with `warm` keys.
+    {
+        let mut s = tree.session();
+        for k in 0..warm as u64 {
+            s.insert(k, k).expect("warm insert");
+        }
+    }
+    pool.stats().reset();
+    let virtuals: Vec<u64> = std::thread::scope(|sc| {
+        (0..threads)
+            .map(|k| {
+                let tree = tree.clone();
+                sc.spawn(move || {
+                    let mut s = tree.session();
+                    s.thread_mut().pm_mut().reset_clock();
+                    let mut rng = SmallRng::seed_from_u64(0xF9 ^ (k as u64) << 32);
+                    let per = ops / threads;
+                    for _ in 0..per {
+                        let key = rng.gen_range(0..(warm as u64 * 2).max(16));
+                        if rng.gen_bool(0.5) {
+                            s.insert(key, key).expect("insert");
+                        } else {
+                            let _ = s.remove(key).expect("remove");
+                        }
+                    }
+                    s.thread().pm().virtual_ns()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+    let per = (ops / threads) as u64;
+    let elapsed = virtuals.into_iter().max().unwrap_or(0)
+        + per * nvalloc_workloads::harness::CPU_NS_PER_OP;
+    ops as f64 / elapsed.max(1) as f64 * 1e3
+}
+
+/// Fig. 14: throughput by thread count for both consistency classes.
+pub fn run_fig14(scale: &Scale) {
+    let warm = scale.ops(20_000, 2_000);
+    let total_ops = scale.ops(20_000, 2_000);
+    for (title, set) in [
+        ("strongly consistent", &Which::STRONG[..]),
+        ("weakly consistent", &Which::WEAK[..]),
+    ] {
+        println!("\n== Fig 14: FPTree 50/50 insert/delete, {title} (Mops/s) ==");
+        let mut headers = vec!["threads".to_string()];
+        headers.extend(set.iter().map(|w| w.name().to_string()));
+        let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut rep = Reporter::new(&hrefs);
+        for &t in scale.threads() {
+            let mut row = vec![t.to_string()];
+            for &w in set {
+                row.push(mops_cell(run_tree(w, t, warm, total_ops)));
+            }
+            let rrefs: Vec<&str> = row.iter().map(|s| s.as_str()).collect();
+            rep.row(&rrefs);
+        }
+        print!("{}", rep.render());
+    }
+}

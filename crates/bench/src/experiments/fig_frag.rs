@@ -1,0 +1,137 @@
+//! Fig. 15: Fragbench over W1–W4 — space consumption with/without slab
+//! morphing, slab-utilisation breakdown, and performance for both
+//! consistency classes.
+
+use nvalloc::{NvAllocator, NvConfig};
+use nvalloc_workloads::allocators::{create_custom, Which};
+use nvalloc_workloads::{fragbench, Reporter};
+
+use crate::experiments::motivation::frag_params;
+use crate::experiments::{mib, pool_mb};
+use crate::Scale;
+
+/// Fig. 15(a): peak space, Makalu vs NVAlloc-LOG with and without SM.
+pub fn run_space(scale: &Scale) {
+    println!("\n== Fig 15a: Fragbench peak space (MiB) ==");
+    let mut rep = Reporter::new(&["workload", "Makalu", "NVAlloc-LOG w/o SM", "NVAlloc-LOG"]);
+    for w in fragbench::TABLE1 {
+        let makalu = {
+            let a = Which::Makalu.create_with_roots(pool_mb(2048), 1 << 20);
+            fragbench::run(&a, w, frag_params(scale)).peak_mapped
+        };
+        let wo_sm = {
+            let a = create_custom(pool_mb(2048), NvConfig::log().morphing(false), 1 << 20);
+            fragbench::run(&a, w, frag_params(scale)).peak_mapped
+        };
+        let with_sm = {
+            let a = create_custom(pool_mb(2048), NvConfig::log(), 1 << 20);
+            fragbench::run(&a, w, frag_params(scale)).peak_mapped
+        };
+        rep.row(&[w.name, &mib(makalu), &mib(wo_sm), &mib(with_sm)]);
+    }
+    print!("{}", rep.render());
+}
+
+/// Fig. 15(b): slab-utilisation breakdown with vs. without morphing.
+pub fn run_breakdown(scale: &Scale) {
+    println!("\n== Fig 15b: slab count by occupancy bin (0-30% / 30-70% / 70-100%) ==");
+    let mut rep = Reporter::new(&[
+        "workload",
+        "w/o SM 0-30",
+        "w/o SM 30-70",
+        "w/o SM 70-100",
+        "SM 0-30",
+        "SM 30-70",
+        "SM 70-100",
+    ]);
+    for w in fragbench::TABLE1 {
+        let util = |morph: bool| {
+            let pool = pool_mb(2048);
+            let a = std::sync::Arc::new(
+                NvAllocator::create(pool, NvConfig::log().morphing(morph).roots(1 << 20))
+                    .expect("create"),
+            );
+            let dyn_a: std::sync::Arc<dyn nvalloc::api::PmAllocator> = a.clone();
+            fragbench::run(&dyn_a, w, frag_params(scale));
+            a.slab_utilization(&[0.3, 0.7]).counts
+        };
+        let wo = util(false);
+        let with = util(true);
+        rep.row(&[
+            w.name,
+            &wo[0].to_string(),
+            &wo[1].to_string(),
+            &wo[2].to_string(),
+            &with[0].to_string(),
+            &with[1].to_string(),
+            &with[2].to_string(),
+        ]);
+    }
+    print!("{}", rep.render());
+}
+
+/// Fig. 15(c)/(d): Fragbench execution time for both consistency classes.
+pub fn run_perf(scale: &Scale) {
+    println!("\n== Fig 15c: Fragbench time, strongly consistent (ms) ==");
+    let mut rep = Reporter::new(&[
+        "workload",
+        "PMDK",
+        "nvm_malloc",
+        "NVAlloc-LOG w/o SM",
+        "NVAlloc-LOG",
+    ]);
+    for w in fragbench::TABLE1 {
+        let t = |which: Option<Which>, morph: bool| {
+            let a = match which {
+                Some(wh) => wh.create_with_roots(pool_mb(2048), 1 << 20),
+                None => create_custom(
+                    pool_mb(2048),
+                    NvConfig::log().morphing(morph),
+                    1 << 20,
+                ),
+            };
+            fragbench::run(&a, w, frag_params(scale)).measurement.elapsed_ms()
+        };
+        rep.row(&[
+            w.name,
+            &format!("{:.1}", t(Some(Which::Pmdk), true)),
+            &format!("{:.1}", t(Some(Which::NvmMalloc), true)),
+            &format!("{:.1}", t(None, false)),
+            &format!("{:.1}", t(None, true)),
+        ]);
+    }
+    print!("{}", rep.render());
+
+    println!("\n== Fig 15d: Fragbench time, weakly consistent (ms) ==");
+    let mut rep = Reporter::new(&[
+        "workload",
+        "Makalu",
+        "Ralloc",
+        "NVAlloc-GC w/o SM",
+        "NVAlloc-GC",
+    ]);
+    for w in fragbench::TABLE1 {
+        let t = |which: Option<Which>, morph: bool| {
+            let a = match which {
+                Some(wh) => wh.create_with_roots(pool_mb(2048), 1 << 20),
+                None => create_custom(pool_mb(2048), NvConfig::gc().morphing(morph), 1 << 20),
+            };
+            fragbench::run(&a, w, frag_params(scale)).measurement.elapsed_ms()
+        };
+        rep.row(&[
+            w.name,
+            &format!("{:.1}", t(Some(Which::Makalu), true)),
+            &format!("{:.1}", t(Some(Which::Ralloc), true)),
+            &format!("{:.1}", t(None, false)),
+            &format!("{:.1}", t(None, true)),
+        ]);
+    }
+    print!("{}", rep.render());
+}
+
+/// All of Fig. 15.
+pub fn run_fig15(scale: &Scale) {
+    run_space(scale);
+    run_breakdown(scale);
+    run_perf(scale);
+}

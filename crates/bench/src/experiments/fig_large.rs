@@ -1,0 +1,100 @@
+//! Figs. 12, 17, 21: large-allocation throughput (Larson-large, DBMStest),
+//! booklog GC overhead, and the eADR variant.
+
+use std::sync::Arc;
+
+use nvalloc::api::PmAllocator;
+use nvalloc::NvConfig;
+use nvalloc_workloads::allocators::Which;
+use nvalloc_workloads::{dbmstest, larson, BenchMeasurement, Reporter};
+
+use crate::experiments::{mops_cell, pool_eadr_mb, pool_mb};
+use crate::Scale;
+
+fn run_bench(alloc: &Arc<dyn PmAllocator>, bench: &str, threads: usize, scale: &Scale) -> BenchMeasurement {
+    match bench {
+        "Larson-large" => {
+            let mut p = larson::Params::large(threads);
+            p.rounds = scale.ops(p.rounds, 2);
+            larson::run(alloc, p)
+        }
+        "DBMStest" => {
+            let mut p = dbmstest::Params::quick(threads);
+            p.iterations = scale.ops(p.iterations, 2);
+            dbmstest::run(alloc, p)
+        }
+        other => unreachable!("unknown bench {other}"),
+    }
+}
+
+fn pool_for(threads: usize, eadr: bool) -> Arc<nvalloc_pmem::PmemPool> {
+    // Large-object churn: size the pool by thread count.
+    let mb = (512 + threads * 48).min(4096);
+    if eadr {
+        pool_eadr_mb(mb)
+    } else {
+        pool_mb(mb)
+    }
+}
+
+fn sweep(title: &str, scale: &Scale, eadr: bool) {
+    for bench in ["Larson-large", "DBMStest"] {
+        println!("\n== {title}: {bench} (Mops/s by thread count) ==");
+        let mut headers = vec!["threads".to_string()];
+        headers.extend(Which::LARGE.iter().map(|w| w.name().to_string()));
+        let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut rep = Reporter::new(&hrefs);
+        for &t in scale.threads() {
+            let mut row = vec![t.to_string()];
+            for w in Which::LARGE {
+                let alloc = w.create_with_roots(pool_for(t, eadr), 1 << 19);
+                let m = run_bench(&alloc, bench, t, scale);
+                row.push(mops_cell(m.mops()));
+            }
+            let rrefs: Vec<&str> = row.iter().map(|s| s.as_str()).collect();
+            rep.row(&rrefs);
+        }
+        print!("{}", rep.render());
+    }
+}
+
+/// Fig. 12: large allocations, ADR.
+pub fn run_fig12(scale: &Scale) {
+    sweep("Fig 12 (large, ADR)", scale, false);
+}
+
+/// Fig. 21: large allocations, emulated eADR.
+pub fn run_fig21(scale: &Scale) {
+    sweep("Fig 21 (large, eADR)", scale, true);
+}
+
+/// Fig. 17: booklog GC on/off. The paper's `Usage_pmem = 0.2 %` applies
+/// to multi-GB runs; the threshold here is scaled down with the workload
+/// so slow GC actually triggers several times per run.
+pub fn run_fig17(scale: &Scale) {
+    println!("\n== Fig 17: bookkeeping-log GC overhead (Kops/s) ==");
+    let mut rep = Reporter::new(&["bench", "w/o GC", "with GC", "slowdown %", "slow GCs"]);
+    for bench in ["Larson-large", "DBMStest"] {
+        let measure = |gc: bool| {
+            let cfg = NvConfig::log().booklog_gc(gc).usage_pmem(0.00001).roots(1 << 19);
+            let nv = std::sync::Arc::new(
+                nvalloc::NvAllocator::create(pool_for(8, false), cfg).expect("create"),
+            );
+            let dyn_a: Arc<dyn PmAllocator> = nv.clone();
+            let m = run_bench(&dyn_a, bench, 8, scale);
+            let gcs = nv.booklog_stats().map_or(0, |s| s.slow_gc_runs);
+            (m, gcs)
+        };
+        let (without, _) = measure(false);
+        let (with, gcs) = measure(true);
+        let slowdown = 100.0 * (1.0 - with.mops() / without.mops());
+        rep.row(&[
+            bench,
+            &format!("{:.1}", without.mops() * 1000.0),
+            &format!("{:.1}", with.mops() * 1000.0),
+            &format!("{slowdown:.1}"),
+            &gcs.to_string(),
+        ]);
+    }
+    print!("{}", rep.render());
+}

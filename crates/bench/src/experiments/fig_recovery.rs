@@ -1,0 +1,77 @@
+//! Fig. 18: recovery time after building a linked list of small nodes,
+//! for every open-source allocator the paper tables.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use nvalloc::api::PmAllocator;
+use nvalloc::{NvAllocator, NvConfig};
+use nvalloc_baselines::{Baseline, BaselineKind};
+use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+use nvalloc_workloads::{linkedlist, Reporter};
+
+use crate::Scale;
+
+fn crash_pool(mb: usize) -> Arc<PmemPool> {
+    PmemPool::new(
+        PmemConfig::default()
+            .pool_size(mb << 20)
+            .latency_mode(LatencyMode::Virtual)
+            .crash_tracking(true),
+    )
+}
+
+fn ms(ns: u128) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// Fig. 18: build the list, exit cleanly... no — crash, then measure
+/// recovery (wall + modelled PM time) with a single thread.
+pub fn run_fig18(scale: &Scale) {
+    let nodes = scale.ops(200_000, 10_000);
+    let mb = (nodes / 3000 + 192).next_power_of_two().max(256);
+    println!("\n== Fig 18: recovery time after a {nodes}-node linked list ==");
+    let mut rep = Reporter::new(&["allocator", "recovery (ms)", "notes"]);
+
+    // Baselines.
+    for (kind, note) in [
+        (BaselineKind::NvmMalloc, "defers reconstruction"),
+        (BaselineKind::Pmdk, "WAL + header rescan"),
+        (BaselineKind::Ralloc, "GC, filtered scan"),
+        (BaselineKind::Makalu, "full conservative GC"),
+    ] {
+        let pool = crash_pool(mb);
+        let alloc: Arc<dyn PmAllocator> =
+            Arc::new(Baseline::create(Arc::clone(&pool), kind).expect("create"));
+        linkedlist::build(&alloc, nodes, 0x18);
+        alloc.exit();
+        let img = PmemPool::from_crash_image(pool.clean_shutdown_image());
+        let start = Instant::now();
+        let (recovered, _) = Baseline::recover(Arc::clone(&img), kind).expect("recover");
+        let elapsed = start.elapsed().as_nanos();
+        let alloc2: Arc<dyn PmAllocator> = Arc::new(recovered);
+        assert_eq!(linkedlist::count(&alloc2), nodes, "{kind:?} lost nodes");
+        rep.row(&[&format!("{kind:?}"), &ms(elapsed), note]);
+    }
+
+    // NVAlloc variants.
+    for (cfg, name, note) in [
+        (NvConfig::log(), "NVAlloc-LOG", "WAL + booklog scan"),
+        (NvConfig::gc(), "NVAlloc-GC", "conservative GC"),
+    ] {
+        let pool = crash_pool(mb);
+        let alloc: Arc<dyn PmAllocator> = Arc::new(
+            NvAllocator::create(Arc::clone(&pool), cfg.clone()).expect("create"),
+        );
+        linkedlist::build(&alloc, nodes, 0x18);
+        // Crash (not clean exit) so the failure paths run, as in the paper.
+        let img = PmemPool::from_crash_image(pool.crash());
+        let start = Instant::now();
+        let (recovered, _) = NvAllocator::recover(Arc::clone(&img), cfg).expect("recover");
+        let elapsed = start.elapsed().as_nanos();
+        let alloc2: Arc<dyn PmAllocator> = Arc::new(recovered);
+        assert_eq!(linkedlist::count(&alloc2), nodes, "{name} lost nodes");
+        rep.row(&[name, &ms(elapsed), note]);
+    }
+    print!("{}", rep.render());
+}

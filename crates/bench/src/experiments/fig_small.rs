@@ -1,0 +1,85 @@
+//! Figs. 9, 10, 20: small-allocation throughput sweeps over thread counts
+//! for the strongly consistent (PMDK, nvm_malloc, PAllocator, NVAlloc-LOG)
+//! and weakly consistent (Makalu, Ralloc, NVAlloc-GC) sets, on ADR and
+//! emulated eADR.
+
+use nvalloc_workloads::allocators::Which;
+use nvalloc_workloads::{larson, prodcon, shbench, threadtest, BenchMeasurement, Reporter};
+
+use crate::experiments::{mops_cell, pool_eadr_mb, pool_mb};
+use crate::Scale;
+
+/// The four small-allocation benchmarks of Figs. 9/10.
+pub const BENCHES: [&str; 4] = ["Threadtest", "Prod-con", "Shbench", "Larson-small"];
+
+fn run_bench(
+    which: Which,
+    bench: &str,
+    threads: usize,
+    scale: &Scale,
+    eadr: bool,
+) -> BenchMeasurement {
+    let pool = if eadr { pool_eadr_mb(512) } else { pool_mb(512) };
+    let alloc = which.create_with_roots(pool, 1 << 19);
+    match bench {
+        "Threadtest" => {
+            let mut p = threadtest::Params::quick(threads);
+            p.iterations = scale.ops(p.iterations, 2);
+            p.objects = p.objects.min((1 << 19) / 8 / threads.max(1)).max(16);
+            threadtest::run(&alloc, p)
+        }
+        "Prod-con" => {
+            let mut p = prodcon::Params::quick(threads);
+            p.objects = scale.ops(p.objects, 100);
+            prodcon::run(&alloc, p)
+        }
+        "Shbench" => {
+            let mut p = shbench::Params::quick(threads);
+            p.iterations = scale.ops(p.iterations, 200);
+            p.live_window = p.live_window.min((1 << 19) / 8 / threads.max(1) / 2).max(4);
+            shbench::run(&alloc, p)
+        }
+        "Larson-small" => {
+            let mut p = larson::Params::small(threads);
+            p.rounds = scale.ops(p.rounds, 2);
+            p.slots = p.slots.min((1 << 19) / 8 / threads.max(1)).max(8);
+            larson::run(&alloc, p)
+        }
+        other => unreachable!("unknown bench {other}"),
+    }
+}
+
+fn sweep(title: &str, set: &[Which], scale: &Scale, eadr: bool) {
+    for bench in BENCHES {
+        println!("\n== {title}: {bench} (Mops/s by thread count) ==");
+        let mut headers = vec!["threads".to_string()];
+        headers.extend(set.iter().map(|w| w.name().to_string()));
+        let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut rep = Reporter::new(&hrefs);
+        for &t in scale.threads() {
+            let mut row = vec![t.to_string()];
+            for &w in set {
+                let m = run_bench(w, bench, t, scale, eadr);
+                row.push(mops_cell(m.mops()));
+            }
+            let rrefs: Vec<&str> = row.iter().map(|s| s.as_str()).collect();
+            rep.row(&rrefs);
+        }
+        print!("{}", rep.render());
+    }
+}
+
+/// Fig. 9: strongly consistent allocators, ADR.
+pub fn run_fig09(scale: &Scale) {
+    sweep("Fig 9 (strong, ADR)", &Which::STRONG, scale, false);
+}
+
+/// Fig. 10: weakly consistent allocators, ADR.
+pub fn run_fig10(scale: &Scale) {
+    sweep("Fig 10 (weak, ADR)", &Which::WEAK, scale, false);
+}
+
+/// Fig. 20: strongly consistent allocators on emulated eADR.
+pub fn run_fig20(scale: &Scale) {
+    sweep("Fig 20 (strong, eADR)", &Which::STRONG, scale, true);
+}

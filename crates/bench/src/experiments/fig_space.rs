@@ -1,0 +1,45 @@
+//! Fig. 13: heap space consumption vs. thread count under Threadtest and
+//! DBMStest.
+
+use nvalloc_workloads::allocators::Which;
+use nvalloc_workloads::{dbmstest, threadtest, Reporter};
+
+use crate::experiments::{mib, pool_mb};
+use crate::Scale;
+
+const SET: [Which; 5] =
+    [Which::Pmdk, Which::NvmMalloc, Which::Makalu, Which::Ralloc, Which::NvallocLog];
+
+/// Fig. 13: peak mapped bytes by thread count.
+pub fn run_fig13(scale: &Scale) {
+    for bench in ["Threadtest", "DBMStest"] {
+        println!("\n== Fig 13: space consumption, {bench} (peak MiB) ==");
+        let mut headers = vec!["threads".to_string()];
+        headers.extend(SET.iter().map(|w| w.name().to_string()));
+        let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut rep = Reporter::new(&hrefs);
+        for &t in scale.threads() {
+            let mut row = vec![t.to_string()];
+            for &w in &SET {
+                let alloc = w.create_with_roots(pool_mb(512 + t * 48), 1 << 19);
+                let m = match bench {
+                    "Threadtest" => {
+                        let mut p = threadtest::Params::quick(t);
+                        p.iterations = scale.ops(p.iterations, 2).min(8);
+                        p.objects = p.objects.min((1 << 19) / 8 / t.max(1)).max(16);
+                        threadtest::run(&alloc, p)
+                    }
+                    _ => {
+                        let mut p = dbmstest::Params::quick(t);
+                        p.iterations = scale.ops(p.iterations, 2).min(6);
+                        dbmstest::run(&alloc, p)
+                    }
+                };
+                row.push(mib(m.peak_mapped));
+            }
+            let rrefs: Vec<&str> = row.iter().map(|s| s.as_str()).collect();
+            rep.row(&rrefs);
+        }
+        print!("{}", rep.render());
+    }
+}

@@ -1,0 +1,49 @@
+//! One module per paper figure/table. Every module's `run(&Scale)` prints
+//! the regenerated rows/series to stdout.
+
+pub mod breakdown;
+pub mod fig_fptree;
+pub mod fig_frag;
+pub mod fig_large;
+pub mod fig_recovery;
+pub mod fig_small;
+pub mod fig_space;
+pub mod motivation;
+pub mod stripes;
+
+use std::sync::Arc;
+
+use nvalloc_pmem::{LatencyMode, PmemConfig, PmemMode, PmemPool};
+
+/// A virtual-latency ADR pool of `mb` megabytes.
+pub fn pool_mb(mb: usize) -> Arc<PmemPool> {
+    PmemPool::new(
+        PmemConfig::default().pool_size(mb << 20).latency_mode(LatencyMode::Virtual),
+    )
+}
+
+/// A virtual-latency eADR pool of `mb` megabytes (§6.7 experiments).
+pub fn pool_eadr_mb(mb: usize) -> Arc<PmemPool> {
+    PmemPool::new(
+        PmemConfig::default()
+            .pool_size(mb << 20)
+            .latency_mode(LatencyMode::Virtual)
+            .pmem_mode(PmemMode::Eadr),
+    )
+}
+
+/// Format a throughput cell (Mops/s).
+pub fn mops_cell(m: f64) -> String {
+    if m >= 100.0 {
+        format!("{m:.0}")
+    } else if m >= 10.0 {
+        format!("{m:.1}")
+    } else {
+        format!("{m:.2}")
+    }
+}
+
+/// Format a byte count as MiB.
+pub fn mib(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / (1 << 20) as f64)
+}

@@ -1,0 +1,67 @@
+//! Figs. 16(a), 16(b), 19: sensitivity to the number of bit stripes (ADR
+//! and eADR) and to the slab-morphing SU threshold.
+
+use nvalloc::NvConfig;
+use nvalloc_workloads::allocators::create_custom;
+use nvalloc_workloads::{fragbench, threadtest, Reporter};
+
+use crate::experiments::{mib, pool_eadr_mb, pool_mb};
+use crate::experiments::motivation::frag_params;
+use crate::Scale;
+
+const STRIPE_SWEEP: [usize; 12] = [1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 24, 32];
+
+fn stripes_run(scale: &Scale, eadr: bool, threads: &[usize]) {
+    let mut headers = vec!["stripes".to_string()];
+    headers.extend(threads.iter().map(|t| format!("{t} thr (ms)")));
+    let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut rep = Reporter::new(&hrefs);
+    for s in STRIPE_SWEEP {
+        let mut row = vec![s.to_string()];
+        for &t in threads {
+            let cfg = NvConfig::log().stripes(s).morphing(false);
+            // Under eADR NVAlloc normally disables interleaving (§6.7); the
+            // sweep forces it on to show stripes no longer matter.
+            let cfg = NvConfig { auto_eadr: false, ..cfg };
+            let pool = if eadr { pool_eadr_mb(512) } else { pool_mb(512) };
+            let alloc = create_custom(pool, cfg, 1 << 19);
+            let mut p = threadtest::Params::quick(t);
+            p.iterations = scale.ops(p.iterations, 2);
+            p.objects = p.objects.min((1 << 19) / 8 / t.max(1)).max(16);
+            let m = threadtest::run(&alloc, p);
+            row.push(format!("{:.2}", m.elapsed_ms()));
+        }
+        let rrefs: Vec<&str> = row.iter().map(|x| x.as_str()).collect();
+        rep.row(&rrefs);
+    }
+    print!("{}", rep.render());
+}
+
+/// Fig. 16(a): stripes × threads on Threadtest (ADR).
+pub fn run_fig16a(scale: &Scale) {
+    println!("\n== Fig 16a: bit-stripe sweep on Threadtest (ADR; lower is better) ==");
+    stripes_run(scale, false, &[1, 2, 4, 8, 16, 32]);
+}
+
+/// Fig. 19: stripes sweep on emulated eADR (expected flat).
+pub fn run_fig19(scale: &Scale) {
+    println!("\n== Fig 19: bit-stripe sweep on Threadtest (eADR; expected flat) ==");
+    stripes_run(scale, true, &[4]);
+}
+
+/// Fig. 16(b): SU-threshold sweep on Fragbench W4.
+pub fn run_fig16b(scale: &Scale) {
+    println!("\n== Fig 16b: morphing SU threshold on Fragbench W4 ==");
+    let mut rep = Reporter::new(&["SU %", "time (ms)", "peak mem (MiB)"]);
+    for su in [0.10, 0.20, 0.30, 0.50] {
+        let cfg = NvConfig::log().su_threshold(su);
+        let alloc = create_custom(pool_mb(2048), cfg, 1 << 20);
+        let r = fragbench::run(&alloc, fragbench::TABLE1[3], frag_params(scale));
+        rep.row(&[
+            &format!("{:.0}", su * 100.0),
+            &format!("{:.1}", r.measurement.elapsed_ms()),
+            &mib(r.peak_mapped),
+        ]);
+    }
+    print!("{}", rep.render());
+}

@@ -1,0 +1,12 @@
+//! Experiment implementations that regenerate every figure and table of
+//! the NVAlloc paper's evaluation (§6). Each `fig*` module exposes
+//! `run(&Scale)`; the `src/bin/*` binaries are thin wrappers, and
+//! `fig_all` runs the lot. See DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for recorded results.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod scale;
+
+pub use scale::Scale;

@@ -1,0 +1,76 @@
+//! Benchmark scale control.
+//!
+//! The paper runs at testbed scale (5 GB heaps, 30 s Larson runs, 50 M KV
+//! operations); these binaries default to a laptop scale that preserves
+//! every per-operation effect, with `--quick` for smoke runs and `--full`
+//! to push toward paper scale. All effects reproduced here are
+//! per-operation (reflush distances, write locality, slab policy), so the
+//! shapes are scale-invariant.
+
+/// Scale factor and thread sweep for an experiment run.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Multiplier on operation counts (1.0 = default laptop scale).
+    pub factor: f64,
+    /// Thread counts to sweep (paper: 1–64).
+    pub threads: Vec<usize>,
+}
+
+impl Scale {
+    /// Parse from `std::env::args`: `--quick` (×0.25), `--full` (×4),
+    /// `--threads a,b,c`.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        let mut s = Scale::default();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => s.factor = 0.25,
+                "--full" => s.factor = 4.0,
+                "--factor" => {
+                    i += 1;
+                    s.factor = args[i].parse().expect("--factor takes a number");
+                }
+                "--threads" => {
+                    i += 1;
+                    s.threads = args[i]
+                        .split(',')
+                        .map(|x| x.parse().expect("--threads takes a,b,c"))
+                        .collect();
+                }
+                other => panic!("unknown flag {other} (try --quick/--full/--threads 1,2,4)"),
+            }
+            i += 1;
+        }
+        s
+    }
+
+    /// `n` scaled by the factor, at least `min`.
+    pub fn ops(&self, n: usize, min: usize) -> usize {
+        ((n as f64 * self.factor) as usize).max(min)
+    }
+
+    /// The paper's full thread sweep, possibly overridden.
+    pub fn threads(&self) -> &[usize] {
+        &self.threads
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Scale {
+        Scale { factor: 1.0, threads: vec![1, 2, 4, 8, 16, 32, 64] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_respects_minimum() {
+        let s = Scale { factor: 0.001, threads: vec![1] };
+        assert_eq!(s.ops(1000, 10), 10);
+        let s = Scale { factor: 2.0, threads: vec![1] };
+        assert_eq!(s.ops(1000, 10), 2000);
+    }
+}

@@ -1,0 +1,83 @@
+//! The allocator interface shared by NVAlloc and every baseline allocator
+//! in the workspace.
+//!
+//! The API mirrors the paper's programming model (§4.1): allocation and
+//! deallocation are *atomic with respect to a persistent destination slot*.
+//! `malloc_to(size, dest)` allocates a block and installs its offset at
+//! `dest`; `free_from(dest)` frees whatever `dest` points at and clears it.
+//! Offsets, not virtual addresses, flow through the API so heaps can be
+//! remapped after recovery.
+//!
+//! Allocators are cloneable handles ([`PmAllocator`] implementors wrap an
+//! `Arc`); each worker thread obtains its own [`AllocThread`], which owns
+//! the thread's PM clock and any thread-local caches.
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+use nvalloc_pmem::{PmOffset, PmResult, PmThread, PmemPool};
+
+/// A persistent-memory allocator instance.
+pub trait PmAllocator: Send + Sync + Debug {
+    /// Short display name ("NVAlloc-LOG", "PMDK", …).
+    fn name(&self) -> String;
+
+    /// The pool this allocator manages.
+    fn pool(&self) -> &Arc<PmemPool>;
+
+    /// Create a per-thread handle. One per worker thread.
+    fn thread(&self) -> Box<dyn AllocThread>;
+
+    /// Pool offset of root slot `i` (an 8-byte persistent location usable
+    /// as a `malloc_to` destination).
+    ///
+    /// # Panics
+    /// Panics if `i >= root_count()`.
+    fn root_offset(&self, i: usize) -> PmOffset;
+
+    /// Number of reserved root slots.
+    fn root_count(&self) -> usize;
+
+    /// Bytes of heap currently mapped (extent regions + metadata logs);
+    /// the "memory consumption" metric of Figs. 1b/13/15.
+    fn heap_mapped_bytes(&self) -> usize;
+
+    /// High-water mark of [`PmAllocator::heap_mapped_bytes`].
+    fn peak_mapped_bytes(&self) -> usize;
+
+    /// Bytes handed out and not yet freed (rounded to class/extent sizes).
+    fn live_bytes(&self) -> usize;
+
+    /// Orderly shutdown (the paper's `nvalloc_exit()`): flush volatile
+    /// state that recovery would otherwise have to reconstruct and mark
+    /// the heap cleanly closed.
+    fn exit(&self);
+}
+
+/// A per-thread allocator handle.
+pub trait AllocThread: Send {
+    /// Allocate `size` bytes and atomically install the block offset at
+    /// the 8-byte-aligned persistent slot `dest`. Returns the block offset.
+    ///
+    /// # Errors
+    /// [`nvalloc_pmem::PmError::OutOfMemory`] when the heap is exhausted,
+    /// [`nvalloc_pmem::PmError::InvalidRequest`] for zero-size requests.
+    fn malloc_to(&mut self, size: usize, dest: PmOffset) -> PmResult<PmOffset>;
+
+    /// Free the block whose offset is stored at `dest` and clear `dest`.
+    ///
+    /// # Errors
+    /// [`nvalloc_pmem::PmError::NotAllocated`] if `dest` holds no live
+    /// allocation (double free).
+    fn free_from(&mut self, dest: PmOffset) -> PmResult<()>;
+
+    /// Return all thread-cached blocks to their slabs (thread exit).
+    fn flush_cache(&mut self);
+
+    /// The thread's PM handle (virtual clock).
+    fn pm(&self) -> &PmThread;
+
+    /// Mutable access to the PM handle (workloads use it to persist their
+    /// own payload writes on this thread's clock).
+    fn pm_mut(&mut self) -> &mut PmThread;
+}

@@ -1,0 +1,258 @@
+//! Allocator configuration.
+//!
+//! Besides selecting the consistency variant, the configuration can switch
+//! each of the paper's three optimizations on or off individually, which is
+//! how the Fig. 11 ablation ("Base", "+Interleaved", "+Log") and the
+//! Fig. 15 "w/o SM" runs are produced.
+
+/// Crash-consistency model (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Variant {
+    /// NVAlloc-LOG: every small-allocation metadata update is covered by a
+    /// write-ahead log entry and flushed; recovery replays WALs.
+    /// Strongly consistent.
+    #[default]
+    Log,
+    /// NVAlloc-GC: no metadata or WAL flushing for small allocations;
+    /// recovery runs a conservative garbage collection from the root set.
+    /// Weakly consistent.
+    Gc,
+    /// NVAlloc-IC: the *internal collection* model the paper names as
+    /// future work (§4.1, after PMDK's `POBJ_FIRST`/`POBJ_NEXT`). Every
+    /// allocation is persistently recorded in the slab bitmaps / booklog
+    /// alone — no WAL, no destination commit — and users enumerate their
+    /// objects through [`crate::NvAllocator::objects`], so references can
+    /// never be lost. Strongly consistent with one metadata flush per
+    /// operation.
+    Internal,
+}
+
+/// Configuration for [`crate::NvAllocator`].
+///
+/// Start from [`NvConfig::log`], [`NvConfig::gc`], or [`NvConfig::base`]
+/// and override with the builder methods:
+///
+/// ```
+/// use nvalloc::NvConfig;
+/// let cfg = NvConfig::log().stripes(8).morphing(false).arenas(2);
+/// assert_eq!(cfg.stripes, 8);
+/// assert!(!cfg.morphing);
+/// assert_eq!(cfg.tag(), "NVAlloc-LOG");
+/// ```
+#[derive(Debug, Clone)]
+pub struct NvConfig {
+    /// Consistency variant.
+    pub variant: Variant,
+    /// Number of bit stripes for interleaved mappings (paper default: 6).
+    pub stripes: usize,
+    /// Interleave slab bitmaps.
+    pub interleave_bitmap: bool,
+    /// Interleave the tcache (per-stripe sub-tcaches with rotating cursor).
+    pub interleave_tcache: bool,
+    /// Interleave WAL entry placement.
+    pub interleave_wal: bool,
+    /// Interleave bookkeeping-log entry placement.
+    pub interleave_booklog: bool,
+    /// Enable slab morphing.
+    pub morphing: bool,
+    /// Space-utilisation threshold below which a slab may morph
+    /// (paper default: 0.20).
+    pub su_threshold: f64,
+    /// Use the log-structured bookkeeping log for extent metadata; when
+    /// off, extent headers are updated in place (the Base / baseline
+    /// behaviour of §3.3).
+    pub log_bookkeeping: bool,
+    /// Run booklog garbage collection (fast + slow).
+    pub booklog_gc: bool,
+    /// Log-file size threshold that triggers slow GC, as a fraction of the
+    /// pool size (paper: `Usage_pmem`, 0.2 % in Fig. 17).
+    pub usage_pmem: f64,
+    /// Number of arenas (paper: one per CPU core).
+    pub arenas: usize,
+    /// Max cached blocks per tcache size class.
+    pub tcache_cap: usize,
+    /// WAL capacity per arena, in entries.
+    pub wal_entries: usize,
+    /// Number of 8-byte root slots to reserve.
+    pub roots: usize,
+    /// Bytes reserved for the bookkeeping log region
+    /// (paper: a 100 MB file; scaled to pool size by default).
+    pub booklog_bytes: usize,
+    /// Disable interleaving automatically when the pool is in eADR mode
+    /// (the paper disables it via `pmem_has_auto_flush()`, §6.7).
+    pub auto_eadr: bool,
+}
+
+impl NvConfig {
+    /// NVAlloc-LOG with all three optimizations enabled (paper defaults).
+    pub fn log() -> Self {
+        NvConfig {
+            variant: Variant::Log,
+            stripes: 6,
+            interleave_bitmap: true,
+            interleave_tcache: true,
+            interleave_wal: true,
+            interleave_booklog: true,
+            morphing: true,
+            su_threshold: 0.20,
+            log_bookkeeping: true,
+            booklog_gc: true,
+            usage_pmem: 0.002,
+            arenas: 4,
+            tcache_cap: 64,
+            wal_entries: 4096,
+            roots: 1 << 16,
+            booklog_bytes: 4 << 20,
+            auto_eadr: true,
+        }
+    }
+
+    /// NVAlloc-GC with all optimizations enabled.
+    pub fn gc() -> Self {
+        NvConfig { variant: Variant::Gc, ..NvConfig::log() }
+    }
+
+    /// NVAlloc-IC (internal collection) with all optimizations enabled.
+    pub fn internal() -> Self {
+        NvConfig { variant: Variant::Internal, ..NvConfig::log() }
+    }
+
+    /// The "Base" configuration of Fig. 11: NVAlloc-LOG with every
+    /// optimization disabled (sequential bitmaps, flat tcache, in-place
+    /// extent headers, no morphing).
+    pub fn base() -> Self {
+        NvConfig {
+            interleave_bitmap: false,
+            interleave_tcache: false,
+            interleave_wal: false,
+            interleave_booklog: false,
+            morphing: false,
+            log_bookkeeping: false,
+            ..NvConfig::log()
+        }
+    }
+
+    /// Fig. 11 "+Interleaved": Base plus the interleaved tcache layout
+    /// and bitmap mapping only.
+    pub fn base_plus_interleaved() -> Self {
+        NvConfig { interleave_bitmap: true, interleave_tcache: true, ..NvConfig::base() }
+    }
+
+    /// Fig. 11 "+Log": Base plus log-structured bookkeeping only.
+    pub fn base_plus_log() -> Self {
+        NvConfig { log_bookkeeping: true, ..NvConfig::base() }
+    }
+
+    /// Set the consistency variant.
+    pub fn variant(mut self, v: Variant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Set the stripe count.
+    pub fn stripes(mut self, s: usize) -> Self {
+        self.stripes = s.max(1);
+        self
+    }
+
+    /// Enable/disable slab morphing.
+    pub fn morphing(mut self, on: bool) -> Self {
+        self.morphing = on;
+        self
+    }
+
+    /// Set the morphing space-utilisation threshold.
+    pub fn su_threshold(mut self, su: f64) -> Self {
+        self.su_threshold = su;
+        self
+    }
+
+    /// Set the number of arenas.
+    pub fn arenas(mut self, n: usize) -> Self {
+        self.arenas = n.max(1);
+        self
+    }
+
+    /// Enable/disable booklog GC.
+    pub fn booklog_gc(mut self, on: bool) -> Self {
+        self.booklog_gc = on;
+        self
+    }
+
+    /// Set the slow-GC trigger threshold (fraction of pool size).
+    pub fn usage_pmem(mut self, frac: f64) -> Self {
+        self.usage_pmem = frac;
+        self
+    }
+
+    /// Set the booklog region size in bytes.
+    pub fn booklog_bytes(mut self, bytes: usize) -> Self {
+        self.booklog_bytes = bytes;
+        self
+    }
+
+    /// Set the number of root slots.
+    pub fn roots(mut self, n: usize) -> Self {
+        self.roots = n;
+        self
+    }
+
+    /// Effective stripe count for a component, honouring per-component
+    /// interleave toggles (1 stripe = sequential).
+    pub(crate) fn stripes_for(&self, enabled: bool) -> usize {
+        if enabled {
+            self.stripes
+        } else {
+            1
+        }
+    }
+
+    /// A short human-readable tag for benchmark tables.
+    pub fn tag(&self) -> String {
+        let v = match self.variant {
+            Variant::Log => "LOG",
+            Variant::Gc => "GC",
+            Variant::Internal => "IC",
+        };
+        format!("NVAlloc-{v}")
+    }
+}
+
+impl Default for NvConfig {
+    fn default() -> Self {
+        NvConfig::log()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_as_documented() {
+        let log = NvConfig::log();
+        assert!(log.interleave_bitmap && log.log_bookkeeping && log.morphing);
+        let base = NvConfig::base();
+        assert!(!base.interleave_bitmap && !base.log_bookkeeping && !base.morphing);
+        assert_eq!(base.variant, Variant::Log);
+        let plus_i = NvConfig::base_plus_interleaved();
+        assert!(plus_i.interleave_bitmap && !plus_i.log_bookkeeping);
+        let plus_l = NvConfig::base_plus_log();
+        assert!(!plus_l.interleave_bitmap && plus_l.log_bookkeeping);
+        assert_eq!(NvConfig::gc().variant, Variant::Gc);
+    }
+
+    #[test]
+    fn stripes_for_honours_toggle() {
+        let c = NvConfig::log().stripes(6);
+        assert_eq!(c.stripes_for(true), 6);
+        assert_eq!(c.stripes_for(false), 1);
+    }
+
+    #[test]
+    fn tags() {
+        assert_eq!(NvConfig::log().tag(), "NVAlloc-LOG");
+        assert_eq!(NvConfig::gc().tag(), "NVAlloc-GC");
+        assert_eq!(NvConfig::internal().tag(), "NVAlloc-IC");
+    }
+}

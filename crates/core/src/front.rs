@@ -1,0 +1,812 @@
+//! The NVAlloc front end: pool layout, arena/thread management, and the
+//! `malloc_to` / `free_from` paths tying slabs, tcaches, morphing, the WAL,
+//! and the large allocator together.
+//!
+//! # Pool layout
+//!
+//! ```text
+//! [ pool header | arena flags | root slots | per-arena WAL regions |
+//!   region table | bookkeeping log | heap (slabs + extents) ]
+//! ```
+//!
+//! # Lock order
+//!
+//! `Arena::inner` → `LargeAlloc` mutex. WAL appends are per-thread
+//! micro-logs (lock-free); persistent bitmap bits are atomic word updates.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nvalloc_pmem::{FlushKind, PmError, PmOffset, PmResult, PmThread, PmemPool, PmemMode};
+
+use crate::api::{AllocThread, PmAllocator};
+use crate::arena::{arena_state, Arena};
+use crate::bitmap::PmBitmap;
+use crate::config::{NvConfig, Variant};
+use crate::geometry::GeometryTable;
+use crate::large::{LargeAlloc, LargeConfig, REGION_BYTES};
+use crate::morph;
+use crate::rtree::{Owner, RTree};
+use crate::size_class::{class_size, size_to_class, ClassId, SLAB_SIZE};
+use crate::slab::{SlabHeader, VSlab};
+use crate::tcache::TCache;
+use crate::wal::{MicroWal, WalOp, WalRegion, MICRO_ENTRIES};
+
+/// Magic tag identifying an NVAlloc-formatted pool.
+pub const POOL_MAGIC: u64 = 0x4E56_414C_4C4F_4331; // "NVALLOC1"
+
+/// Computed pool layout (all offsets in bytes).
+#[derive(Debug, Clone)]
+pub(crate) struct Layout {
+    pub arena_flags: PmOffset,
+    pub roots: PmOffset,
+    pub roots_count: usize,
+    pub wal_base: PmOffset,
+    pub wal_micro_count: usize,
+    pub region_table: PmOffset,
+    pub region_table_bytes: usize,
+    pub booklog: PmOffset,
+    pub booklog_bytes: usize,
+    pub heap_base: PmOffset,
+    pub heap_bytes: usize,
+}
+
+impl Layout {
+    pub(crate) fn compute(cfg: &NvConfig, pool_size: usize) -> PmResult<Layout> {
+        let arena_flags = 64u64;
+        let flags_end = arena_flags + cfg.arenas as u64 * 64;
+        let roots = crate::align_up64(flags_end, 64);
+        let roots_end = roots + cfg.roots as u64 * 8;
+        let wal_base = crate::align_up64(roots_end, 64);
+        let wal_micro_count = (cfg.wal_entries / MICRO_ENTRIES).max(16);
+        let wal_bytes = cfg.arenas * WalRegion::region_bytes(wal_micro_count);
+        let region_table = crate::align_up64(wal_base + wal_bytes as u64, 64);
+        let max_regions = pool_size / REGION_BYTES + 2;
+        let region_table_bytes = 8 + 8 * max_regions;
+        let booklog = crate::align_up64(region_table + region_table_bytes as u64, 64);
+        let booklog_bytes = cfg.booklog_bytes.min(pool_size / 4).max(64 << 10);
+        let heap_base =
+            crate::align_up64(booklog + booklog_bytes as u64, SLAB_SIZE as u64);
+        if heap_base as usize + REGION_BYTES > pool_size {
+            return Err(PmError::OutOfMemory { requested: REGION_BYTES });
+        }
+        Ok(Layout {
+            arena_flags,
+            roots,
+            roots_count: cfg.roots,
+            wal_base,
+            wal_micro_count,
+            region_table,
+            region_table_bytes,
+            booklog,
+            booklog_bytes,
+            heap_base,
+            heap_bytes: pool_size - heap_base as usize,
+        })
+    }
+
+    pub(crate) fn large_config_pub(&self, cfg: &NvConfig) -> LargeConfig {
+        self.large_config(cfg)
+    }
+
+    fn large_config(&self, cfg: &NvConfig) -> LargeConfig {
+        LargeConfig {
+            heap_base: self.heap_base,
+            heap_bytes: self.heap_bytes,
+            log_bookkeeping: cfg.log_bookkeeping,
+            booklog_base: self.booklog,
+            booklog_bytes: self.booklog_bytes,
+            booklog_stripes: cfg.stripes_for(cfg.interleave_booklog),
+            booklog_gc: cfg.booklog_gc,
+            slow_gc_threshold: usize::MAX, // set by NvInner from usage_pmem
+            decay_ms: 10_000,
+            region_table_base: self.region_table,
+            region_table_bytes: self.region_table_bytes,
+        }
+    }
+}
+
+/// Slab-utilisation snapshot for the Fig. 15(b) space breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlabUtilization {
+    /// Upper bounds of the occupancy bins (e.g. `[0.3, 0.7]` → bins
+    /// 0–30 %, 30–70 %, 70–100 %).
+    pub bins: Vec<f64>,
+    /// Slab counts per bin (one more than `bins`).
+    pub counts: Vec<usize>,
+}
+
+/// Outcome summary of [`NvAllocator::recover`]. See §4.4.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Every arena flag read `NormalShutdown`.
+    pub normal_shutdown: bool,
+    /// Slabs reconstructed from the bookkeeping log.
+    pub slabs: usize,
+    /// Non-slab extents reconstructed.
+    pub extents: usize,
+    /// WAL entries replayed (LOG variant, failure recovery).
+    pub wal_replayed: usize,
+    /// Blocks/extents whose leaks were fixed by replay or GC.
+    pub leaks_fixed: usize,
+    /// Slab morphs rolled back (or forward) via the header flag.
+    pub morphs_resolved: usize,
+    /// Live blocks found by conservative GC (GC variant).
+    pub gc_live_blocks: usize,
+}
+
+pub(crate) struct NvInner {
+    pub pool: Arc<PmemPool>,
+    pub cfg: NvConfig,
+    pub geoms: GeometryTable,
+    pub layout: Layout,
+    pub arenas: Vec<Arc<Arena>>,
+    pub large: Mutex<LargeAlloc>,
+    pub rtree: Arc<RTree>,
+    pub live_bytes: AtomicUsize,
+    pub wal_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for NvInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NvInner")
+            .field("cfg", &self.cfg.tag())
+            .field("arenas", &self.arenas.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The NVAlloc allocator handle (clone freely; all clones share state).
+#[derive(Debug, Clone)]
+pub struct NvAllocator(pub(crate) Arc<NvInner>);
+
+impl NvAllocator {
+    /// Format `pool` and create a fresh allocator.
+    ///
+    /// # Errors
+    /// [`PmError::OutOfMemory`] if the pool is too small for the
+    /// configured metadata regions plus one heap region.
+    pub fn create(pool: Arc<PmemPool>, cfg: NvConfig) -> PmResult<NvAllocator> {
+        let cfg = Self::effective(cfg, &pool);
+        let layout = Layout::compute(&cfg, pool.size())?;
+        let mut t = pool.register_thread();
+
+        // Zero the metadata area.
+        pool.fill_bytes(0, layout.heap_base as usize, 0);
+
+        let geoms = GeometryTable::new(cfg.stripes_for(cfg.interleave_bitmap));
+        let rtree = Arc::new(RTree::new());
+        let mut large_cfg = layout.large_config(&cfg);
+        large_cfg.slow_gc_threshold = ((pool.size() as f64 * cfg.usage_pmem) as usize).max(4096);
+        let large = LargeAlloc::new(&pool, large_cfg, Arc::clone(&rtree));
+
+        let arenas: Vec<Arc<Arena>> = (0..cfg.arenas)
+            .map(|i| {
+                let wal_base = layout.wal_base
+                    + (i * WalRegion::region_bytes(layout.wal_micro_count)) as u64;
+                Arc::new(Arena::create(
+                    &pool,
+                    i as u32,
+                    layout.arena_flags + (i * 64) as u64,
+                    wal_base,
+                    layout.wal_micro_count,
+                ))
+            })
+            .collect();
+        for a in &arenas {
+            a.set_state(&pool, &mut t, arena_state::RUNNING);
+        }
+
+        // Pool header last (commit point of the format).
+        pool.write_u64(8, cfg.arenas as u64);
+        pool.write_u64(16, cfg.roots as u64);
+        pool.persist_u64(&mut t, 0, POOL_MAGIC, FlushKind::Meta);
+
+        Ok(NvAllocator(Arc::new(NvInner {
+            pool,
+            cfg,
+            geoms,
+            layout,
+            arenas,
+            large: Mutex::new(large),
+            rtree,
+            live_bytes: AtomicUsize::new(0),
+            wal_seq: AtomicU64::new(1),
+        })))
+    }
+
+    /// Recover an allocator from an existing (possibly crashed) pool image.
+    /// `cfg` must match the configuration the pool was created with.
+    ///
+    /// # Errors
+    /// [`PmError::Corrupt`] if the pool was never formatted.
+    pub fn recover(pool: Arc<PmemPool>, cfg: NvConfig) -> PmResult<(NvAllocator, RecoveryReport)> {
+        crate::recovery::recover(pool, cfg)
+    }
+
+    /// Adjust the configuration for the platform (eADR auto-disables
+    /// interleaving, §6.7) and clamp fields.
+    pub(crate) fn effective(mut cfg: NvConfig, pool: &PmemPool) -> NvConfig {
+        if cfg.auto_eadr && pool.model().pmem_mode() == PmemMode::Eadr {
+            cfg.interleave_bitmap = false;
+            cfg.interleave_tcache = false;
+            cfg.interleave_wal = false;
+            cfg.interleave_booklog = false;
+        }
+        cfg.arenas = cfg.arenas.max(1);
+        cfg.stripes = cfg.stripes.max(1);
+        cfg
+    }
+
+    /// The effective configuration (after platform adjustment).
+    pub fn config(&self) -> &NvConfig {
+        &self.0.cfg
+    }
+
+    /// Slab-occupancy histogram across all arenas (Fig. 15b).
+    pub fn slab_utilization(&self, bins: &[f64]) -> SlabUtilization {
+        let mut counts = vec![0usize; bins.len() + 1];
+        for a in &self.0.arenas {
+            let inner = a.inner.lock();
+            for (i, c) in inner.occupancy_histogram(bins).into_iter().enumerate() {
+                counts[i] += c;
+            }
+        }
+        SlabUtilization { bins: bins.to_vec(), counts }
+    }
+
+    /// Booklog GC statistics (None when the booklog is disabled).
+    pub fn booklog_stats(&self) -> Option<crate::booklog::BookLogStats> {
+        self.0.large.lock().booklog_stats()
+    }
+
+    /// Enumerate every live allocation as `(offset, size)` — the
+    /// internal-collection interface (PMDK's `POBJ_FIRST`/`POBJ_NEXT`
+    /// analogue, §7). Available in every variant; with
+    /// [`Variant::Internal`] it is the primary way references are kept.
+    pub fn objects(&self) -> Vec<(PmOffset, usize)> {
+        let pool = &self.0.pool;
+        let mut out = Vec::new();
+        for a in &self.0.arenas {
+            let inner = a.inner.lock();
+            for vs in inner.slabs.values() {
+                let bm = vs.pbitmap(&self.0.geoms);
+                let bs = vs.block_size();
+                for i in 0..vs.nblocks {
+                    if bm.get(pool, i) {
+                        out.push((vs.block_addr(i), bs));
+                    }
+                }
+                if let Some(m) = &vs.morph {
+                    let old_bs = crate::size_class::class_size(m.old_class);
+                    for e in m.index.iter().filter(|e| e.allocated) {
+                        let addr = vs.off
+                            + (m.old_data_offset + e.old_idx as usize * old_bs) as u64;
+                        out.push((addr, old_bs));
+                    }
+                }
+            }
+        }
+        let large = self.0.large.lock();
+        for (_, off, is_slab) in large.active_extents() {
+            if !is_slab {
+                if let Some(v) = large.veh_by_off(off) {
+                    out.push((off, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Force a decay pass on the large allocator's free lists.
+    pub fn drain_free_lists(&self) {
+        let mut t = self.0.pool.register_thread();
+        let _ = self.0.large.lock().drain_free_lists(&self.0.pool, &mut t);
+    }
+}
+
+impl PmAllocator for NvAllocator {
+    fn name(&self) -> String {
+        self.0.cfg.tag()
+    }
+
+    fn pool(&self) -> &Arc<PmemPool> {
+        &self.0.pool
+    }
+
+    fn thread(&self) -> Box<dyn AllocThread> {
+        // Least-loaded arena assignment (§4.2).
+        let arena = self
+            .0
+            .arenas
+            .iter()
+            .min_by_key(|a| a.threads.load(Ordering::Relaxed))
+            .expect("at least one arena")
+            .clone();
+        arena.threads.fetch_add(1, Ordering::Relaxed);
+        let micro_idx = arena.wal_next_micro.fetch_add(1, Ordering::Relaxed);
+        let wal = arena.wal.micro(micro_idx, self.0.cfg.stripes_for(self.0.cfg.interleave_wal));
+        let tc_stripes = if self.0.cfg.interleave_tcache {
+            self.0.geoms.stripes()
+        } else {
+            1
+        };
+        Box::new(NvThread {
+            inner: Arc::clone(&self.0),
+            pm: self.0.pool.register_thread(),
+            tcache: TCache::new(tc_stripes, self.0.cfg.tcache_cap),
+            arena,
+            wal,
+        })
+    }
+
+    fn root_offset(&self, i: usize) -> PmOffset {
+        assert!(i < self.0.layout.roots_count, "root {i} out of range");
+        self.0.layout.roots + (i * 8) as u64
+    }
+
+    fn root_count(&self) -> usize {
+        self.0.layout.roots_count
+    }
+
+    fn heap_mapped_bytes(&self) -> usize {
+        let large = self.0.large.lock();
+        large.mapped_bytes() + large.booklog_stats().map_or(0, |_| 0)
+    }
+
+    fn peak_mapped_bytes(&self) -> usize {
+        self.0.large.lock().peak_mapped()
+    }
+
+    fn live_bytes(&self) -> usize {
+        self.0.live_bytes.load(Ordering::Relaxed)
+    }
+
+    fn exit(&self) {
+        let pool = &self.0.pool;
+        let mut t = pool.register_thread();
+        // Flush everything recovery reads: slab headers + bitmaps + index
+        // tables (the GC variant never flushed them at runtime), and the
+        // root region.
+        for a in &self.0.arenas {
+            let inner = a.inner.lock();
+            for vs in inner.slabs.values() {
+                pool.flush(&mut t, vs.off, vs.data_offset, FlushKind::Meta);
+            }
+            a.set_state(pool, &mut t, arena_state::NORMAL_SHUTDOWN);
+        }
+        pool.flush(
+            &mut t,
+            self.0.layout.roots,
+            self.0.layout.roots_count * 8,
+            FlushKind::Meta,
+        );
+        pool.fence(&mut t);
+    }
+}
+
+/// A per-thread NVAlloc handle.
+#[derive(Debug)]
+pub struct NvThread {
+    inner: Arc<NvInner>,
+    pm: PmThread,
+    tcache: TCache,
+    arena: Arc<Arena>,
+    wal: MicroWal,
+}
+
+impl NvThread {
+    fn variant(&self) -> Variant {
+        self.inner.cfg.variant
+    }
+
+    /// Strongly consistent variants persist metadata and destination slots
+    /// on every operation.
+    fn strong(&self) -> bool {
+        matches!(self.variant(), Variant::Log | Variant::Internal)
+    }
+
+    /// Only NVAlloc-LOG needs WAL entries for small allocations; the
+    /// internal-collection variant's objects are enumerable, so nothing can
+    /// leak (§4.1 / §7 "allocators using internal collection").
+    fn use_small_wal(&self) -> bool {
+        self.variant() == Variant::Log
+    }
+
+    /// Large allocations use the WAL in the LOG and GC variants (Table 2);
+    /// the internal-collection variant relies on the booklog alone.
+    fn use_large_wal(&self) -> bool {
+        self.variant() != Variant::Internal
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.inner.wal_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Persist or plainly write the 8-byte destination slot, depending on
+    /// the consistency variant and allocation size class. Attributed as
+    /// `Data`: the destination is an application-owned location (§4.1), so
+    /// its flush is not allocator heap-metadata traffic.
+    fn write_dest(&mut self, dest: PmOffset, value: u64, persist: bool) {
+        let pool = &self.inner.pool;
+        if persist {
+            pool.persist_u64(&mut self.pm, dest, value, FlushKind::Data);
+        } else {
+            pool.write_u64(dest, value);
+            pool.charge_store(&mut self.pm, dest, 8);
+        }
+    }
+
+    fn check_dest(&self, dest: PmOffset) -> PmResult<()> {
+        if !dest.is_multiple_of(8)
+            || (dest as usize).checked_add(8).is_none_or(|end| end > self.inner.pool.size())
+        {
+            return Err(PmError::InvalidRequest("dest must be an 8-byte-aligned pool slot"));
+        }
+        Ok(())
+    }
+
+    // ----- small path -----
+
+    fn malloc_small(&mut self, class: ClassId, size: usize, dest: PmOffset) -> PmResult<PmOffset> {
+        let addr = match self.tcache.pop(class) {
+            Some(a) => a,
+            None => {
+                self.refill(class)?;
+                self.tcache
+                    .pop(class)
+                    .ok_or(PmError::OutOfMemory { requested: size })?
+            }
+        };
+        let pool = Arc::clone(&self.inner.pool);
+        let strong = self.strong();
+        if self.use_small_wal() {
+            let seq = self.next_seq();
+            self.wal.append(&pool, &mut self.pm, WalOp::Alloc, addr, dest, size as u32, seq);
+        }
+        // Persist the allocation in the slab bitmap.
+        let slab_off = addr & !(SLAB_SIZE as u64 - 1);
+        let h = SlabHeader::read(&pool, slab_off).ok_or(PmError::Corrupt("missing slab header"))?;
+        let g = self.inner.geoms.of(class);
+        let idx = ((addr - slab_off - h.data_offset as u64) / g.block_size as u64) as usize;
+        let bm = PmBitmap::new(slab_off + g.bitmap_off as u64, g.bitmap);
+        if strong {
+            bm.set_persist(&pool, &mut self.pm, idx);
+        } else {
+            bm.write_volatile(&pool, idx, true);
+        }
+        // Install the user pointer (the commit record).
+        self.write_dest(dest, addr, strong);
+        self.inner.live_bytes.fetch_add(class_size(class), Ordering::Relaxed);
+        Ok(addr)
+    }
+
+    /// Refill the tcache for `class`: freelist slabs → slab morphing → a
+    /// fresh slab from the large allocator (§4.2).
+    fn refill(&mut self, class: ClassId) -> PmResult<()> {
+        let inner = &self.inner;
+        let pool = &inner.pool;
+        let mut ai = self.arena.inner.lock();
+        if ai.fill_tcache(&inner.geoms, class, &mut self.tcache) > 0 {
+            return Ok(());
+        }
+        if inner.cfg.morphing
+            && morph::try_morph(
+                pool,
+                &mut self.pm,
+                &mut ai,
+                &inner.geoms,
+                inner.cfg.su_threshold,
+                class,
+            )
+            .is_some()
+            && ai.fill_tcache(&inner.geoms, class, &mut self.tcache) > 0
+        {
+            return Ok(());
+        }
+        // New slab via a large allocation (64 KB aligned).
+        let (veh, off) = inner.large.lock().alloc_aligned(
+            pool,
+            &mut self.pm,
+            SLAB_SIZE,
+            SLAB_SIZE,
+            true,
+        )?;
+        inner
+            .rtree
+            .insert_range(off, SLAB_SIZE, Owner::Slab { slab: off, arena: self.arena.id }.pack());
+        let vs = VSlab::create(pool, &mut self.pm, off, class, veh, inner.geoms.of(class), true);
+        ai.add_slab(vs);
+        ai.fill_tcache(&inner.geoms, class, &mut self.tcache);
+        Ok(())
+    }
+
+    fn free_small(
+        &mut self,
+        slab_off: PmOffset,
+        arena_id: u32,
+        addr: PmOffset,
+        dest: PmOffset,
+    ) -> PmResult<()> {
+        let inner = Arc::clone(&self.inner);
+        let pool = &inner.pool;
+        let strong = self.strong();
+        let arena = inner
+            .arenas
+            .get(arena_id as usize)
+            .ok_or(PmError::Corrupt("bad arena id in rtree"))?;
+        let mut ai = arena.inner.lock();
+
+        // Old-class block of a morphing slab? Released directly, bypassing
+        // the tcache (§5.2).
+        if morph::find_old_block(&ai, slab_off, addr).is_some() {
+            let old_class = ai.slabs[&slab_off]
+                .morph
+                .as_ref()
+                .expect("morph state present")
+                .old_class;
+            if self.use_small_wal() {
+                let seq = self.next_seq();
+                self.wal.append(pool, &mut self.pm, WalOp::Free, addr, dest, 0, seq);
+            }
+            morph::release_old_block(pool, &mut self.pm, &mut ai, slab_off, addr)?;
+            self.write_dest(dest, 0, strong);
+            inner.live_bytes.fetch_sub(class_size(old_class), Ordering::Relaxed);
+            self.maybe_destroy_slab(&mut ai, slab_off)?;
+            return Ok(());
+        }
+
+        let vs = ai.slabs.get(&slab_off).ok_or(PmError::Corrupt("slab missing"))?;
+        let class = vs.class;
+        let idx = vs.block_index(addr).ok_or(PmError::NotAllocated)?;
+        let g = inner.geoms.of(class);
+        let bm = PmBitmap::new(slab_off + g.bitmap_off as u64, g.bitmap);
+        if !bm.get(pool, idx) {
+            return Err(PmError::NotAllocated);
+        }
+        if self.use_small_wal() {
+            let seq = self.next_seq();
+            self.wal.append(pool, &mut self.pm, WalOp::Free, addr, dest, 0, seq);
+        }
+        if strong {
+            bm.clear_persist(pool, &mut self.pm, idx);
+        } else {
+            bm.write_volatile(pool, idx, false);
+        }
+        self.write_dest(dest, 0, strong);
+        inner.live_bytes.fetch_sub(class_size(class), Ordering::Relaxed);
+
+        // The freed block goes to *this* thread's tcache; when the tcache
+        // is full it returns to its slab directly, bypassing the cache
+        // (§4.2).
+        let stripe = g.bitmap.stripe_of(idx);
+        if !self.tcache.push(class, addr, stripe)
+            && ai.return_block_to_slab(slab_off, idx) {
+                self.maybe_destroy_slab(&mut ai, slab_off)?;
+            }
+        Ok(())
+    }
+
+    /// Destroy `slab_off` if it is completely free: unregister and return
+    /// its extent. Caller holds the arena lock.
+    fn maybe_destroy_slab(
+        &mut self,
+        ai: &mut crate::arena::ArenaInner,
+        slab_off: PmOffset,
+    ) -> PmResult<()> {
+        let free = ai.slabs.get(&slab_off).is_some_and(|v| v.is_completely_free());
+        if !free {
+            return Ok(());
+        }
+        let vs = ai.remove_slab(slab_off);
+        // large.free re-registers nothing; it removes the range (which we
+        // overwrote with a slab owner) from the rtree.
+        self.inner.large.lock().free(&self.inner.pool, &mut self.pm, vs.veh)
+    }
+
+    // ----- large path -----
+
+    fn malloc_large(&mut self, size: usize, dest: PmOffset) -> PmResult<PmOffset> {
+        let inner = Arc::clone(&self.inner);
+        let pool = &inner.pool;
+        // Reserve (volatile), then WAL, then persist the extent record,
+        // then commit via the dest install — each crash window is covered
+        // (§4.3/§4.4). Large allocations use the WAL in both variants
+        // (Table 2).
+        let mut large = inner.large.lock();
+        let (veh, off) = large.alloc_deferred(pool, &mut self.pm, size)?;
+        if self.use_large_wal() {
+            let seq = self.next_seq();
+            self.wal.append(pool, &mut self.pm, WalOp::Alloc, off, dest, size as u32, seq);
+        }
+        large.commit_extent(pool, &mut self.pm, veh)?;
+        let actual = large.veh(veh).map(|v| v.size).unwrap_or(size);
+        drop(large);
+        self.write_dest(dest, off, true);
+        inner.live_bytes.fetch_add(actual, Ordering::Relaxed);
+        Ok(off)
+    }
+
+    fn free_large(&mut self, veh: crate::large::VehId, addr: PmOffset, dest: PmOffset) -> PmResult<()> {
+        let inner = Arc::clone(&self.inner);
+        let pool = &inner.pool;
+        {
+            let large = inner.large.lock();
+            let v = large.veh(veh).ok_or(PmError::NotAllocated)?;
+            if v.off != addr {
+                return Err(PmError::NotAllocated);
+            }
+        }
+        if self.use_large_wal() {
+            let seq = self.next_seq();
+            self.wal.append(pool, &mut self.pm, WalOp::Free, addr, dest, 0, seq);
+        }
+        self.write_dest(dest, 0, true);
+        let mut large = inner.large.lock();
+        let size = large.veh(veh).map(|v| v.size).unwrap_or(0);
+        large.free(pool, &mut self.pm, veh)?;
+        drop(large);
+        inner.live_bytes.fetch_sub(size, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl AllocThread for NvThread {
+    fn malloc_to(&mut self, size: usize, dest: PmOffset) -> PmResult<PmOffset> {
+        self.check_dest(dest)?;
+        if size == 0 {
+            return Err(PmError::InvalidRequest("zero-size allocation"));
+        }
+        match size_to_class(size) {
+            Some(class) => self.malloc_small(class, size, dest),
+            None => self.malloc_large(size, dest),
+        }
+    }
+
+    fn free_from(&mut self, dest: PmOffset) -> PmResult<()> {
+        self.check_dest(dest)?;
+        let addr = self.inner.pool.read_u64(dest);
+        if addr == 0 {
+            return Err(PmError::NotAllocated);
+        }
+        let owner = self.inner.rtree.lookup(addr).ok_or(PmError::NotAllocated)?;
+        match Owner::unpack(owner) {
+            Owner::Slab { slab, arena } => self.free_small(slab, arena, addr, dest),
+            Owner::Extent { veh } => self.free_large(veh, addr, dest),
+        }
+    }
+
+    fn flush_cache(&mut self) {
+        let inner = Arc::clone(&self.inner);
+        for class in 0..crate::size_class::NUM_CLASSES {
+            for addr in self.tcache.drain(class) {
+                let slab_off = addr & !(SLAB_SIZE as u64 - 1);
+                let Some(owner) = inner.rtree.lookup(addr) else { continue };
+                let Owner::Slab { arena, .. } = Owner::unpack(owner) else { continue };
+                let arena = Arc::clone(&inner.arenas[arena as usize]);
+                let mut ai = arena.inner.lock();
+                let Some(vs) = ai.slabs.get(&slab_off) else { continue };
+                let Some(idx) = vs.block_index(addr) else { continue };
+                if ai.return_block_to_slab(slab_off, idx) {
+                    let _ = self.maybe_destroy_slab(&mut ai, slab_off);
+                }
+            }
+        }
+    }
+
+    fn pm(&self) -> &PmThread {
+        &self.pm
+    }
+
+    fn pm_mut(&mut self) -> &mut PmThread {
+        &mut self.pm
+    }
+}
+
+impl Drop for NvThread {
+    fn drop(&mut self) {
+        self.flush_cache();
+        self.arena.threads.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-size-class allocator statistics (diagnostics / space studies).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Size class index.
+    pub class: usize,
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Slabs currently dedicated to this class.
+    pub slabs: usize,
+    /// Blocks allocated (persistent view).
+    pub allocated: usize,
+    /// Blocks free or cached.
+    pub free: usize,
+}
+
+impl NvAllocator {
+    /// Per-class slab statistics across all arenas.
+    pub fn class_stats(&self) -> Vec<ClassStats> {
+        let pool = &self.0.pool;
+        let mut out: Vec<ClassStats> = (0..crate::size_class::NUM_CLASSES)
+            .map(|c| ClassStats {
+                class: c,
+                block_size: crate::size_class::class_size(c),
+                ..ClassStats::default()
+            })
+            .collect();
+        for a in &self.0.arenas {
+            let inner = a.inner.lock();
+            for vs in inner.slabs.values() {
+                let st = &mut out[vs.class];
+                st.slabs += 1;
+                let allocated = vs.pbitmap(&self.0.geoms).count_set(pool);
+                st.allocated += allocated;
+                st.free += vs.nblocks - allocated;
+            }
+        }
+        out
+    }
+
+    /// Total internal fragmentation: bytes reserved by slabs beyond the
+    /// persistent allocations they hold.
+    pub fn slab_overhead_bytes(&self) -> usize {
+        self.class_stats()
+            .iter()
+            .map(|s| (s.slabs * crate::size_class::SLAB_SIZE).saturating_sub(s.allocated * s.block_size))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::PmAllocator;
+    use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+
+    #[test]
+    fn class_stats_track_allocations() {
+        let pool = PmemPool::new(
+            PmemConfig::default().pool_size(32 << 20).latency_mode(LatencyMode::Off),
+        );
+        let a = NvAllocator::create(pool, NvConfig::log()).unwrap();
+        let mut t = a.thread();
+        for i in 0..100 {
+            t.malloc_to(64, a.root_offset(i)).unwrap();
+        }
+        let c64 = crate::size_class::size_to_class(64).unwrap();
+        let stats = a.class_stats();
+        assert_eq!(stats[c64].allocated, 100);
+        assert!(stats[c64].slabs >= 1);
+        assert_eq!(stats[c64].block_size, 64);
+        // Other classes untouched.
+        assert_eq!(stats[c64 + 1].slabs, 0);
+        assert!(a.slab_overhead_bytes() > 0, "a mostly-empty slab has overhead");
+        for i in 0..100 {
+            t.free_from(a.root_offset(i)).unwrap();
+        }
+        let stats = a.class_stats();
+        assert_eq!(stats[c64].allocated, 0);
+    }
+
+    #[test]
+    fn layout_rejects_tiny_pools() {
+        let cfg = NvConfig::log();
+        assert!(Layout::compute(&cfg, 1 << 20).is_err(), "1 MiB cannot host a heap region");
+        assert!(Layout::compute(&cfg, 64 << 20).is_ok());
+    }
+
+    #[test]
+    fn layout_regions_are_disjoint_and_ordered() {
+        let cfg = NvConfig::log().arenas(3).roots(1000);
+        let l = Layout::compute(&cfg, 128 << 20).unwrap();
+        assert!(l.arena_flags < l.roots);
+        assert!(l.roots + (l.roots_count * 8) as u64 <= l.wal_base);
+        assert!(l.region_table < l.booklog);
+        assert!(l.booklog + l.booklog_bytes as u64 <= l.heap_base);
+        assert_eq!(l.heap_base % crate::size_class::SLAB_SIZE as u64, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Slab geometry: where the header, bitmap, index table, and blocks live
+//! inside a 64 KB slab, per size class.
+//!
+//! Every slab starts with a fixed 64 B header line, followed by the
+//! persistent bitmap (whose size depends on the class's block count and the
+//! configured stripe count), followed by the data region. A *morphing* slab
+//! additionally carries an index table between bitmap and data; its data
+//! region therefore starts later, which is exactly why the persistent
+//! header stores an explicit `data_offset` (§5.2, Fig. 5).
+
+use crate::bitmap::BitmapLayout;
+use crate::size_class::{class_size, ClassId, NUM_CLASSES, SLAB_SIZE};
+
+/// CPU cache line size, re-exported for in-crate use.
+pub const CACHE_LINE: usize = nvalloc_pmem::CACHE_LINE;
+
+/// Size of the fixed slab-header fields (one cache line).
+pub const SLAB_FIXED_HEADER: usize = CACHE_LINE;
+
+/// Geometry of a *regular* (non-morphing) slab of one size class.
+#[derive(Debug, Clone, Copy)]
+pub struct SlabGeometry {
+    /// The size class this geometry describes.
+    pub class: ClassId,
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Number of blocks a regular slab of this class holds.
+    pub nblocks: usize,
+    /// Offset of the bitmap region within the slab.
+    pub bitmap_off: usize,
+    /// Bitmap layout (also used, truncated, by morphed slabs).
+    pub bitmap: BitmapLayout,
+    /// Offset of block 0 within a regular slab.
+    pub data_offset: usize,
+}
+
+impl SlabGeometry {
+    /// Compute the geometry for `class` with `stripes` bit stripes.
+    ///
+    /// The block count and header size are mutually dependent (more blocks
+    /// ⇒ bigger bitmap ⇒ later data start ⇒ fewer blocks), so this iterates
+    /// to the fixed point.
+    pub fn compute(class: ClassId, stripes: usize) -> Self {
+        let bs = class_size(class);
+        let mut nblocks = (SLAB_SIZE - SLAB_FIXED_HEADER) / bs;
+        loop {
+            let bitmap = BitmapLayout::new(nblocks.max(1), stripes);
+            let data_offset =
+                (SLAB_FIXED_HEADER + bitmap.bytes()).next_multiple_of(CACHE_LINE);
+            let fit = (SLAB_SIZE - data_offset) / bs;
+            if fit >= nblocks {
+                return SlabGeometry {
+                    class,
+                    block_size: bs,
+                    nblocks,
+                    bitmap_off: SLAB_FIXED_HEADER,
+                    bitmap,
+                    data_offset,
+                };
+            }
+            nblocks = fit;
+        }
+    }
+
+    /// Offset of block `i` within the slab, for a given data offset (which
+    /// differs between regular and morphed slabs).
+    #[inline]
+    pub fn block_off(&self, data_offset: usize, i: usize) -> usize {
+        data_offset + i * self.block_size
+    }
+
+    /// Number of blocks that fit behind an arbitrary `data_offset`
+    /// (morphed slabs start their data later).
+    #[inline]
+    pub fn nblocks_at(&self, data_offset: usize) -> usize {
+        ((SLAB_SIZE - data_offset) / self.block_size).min(self.nblocks)
+    }
+}
+
+/// Per-configuration table of all class geometries.
+#[derive(Debug, Clone)]
+pub struct GeometryTable {
+    geoms: Vec<SlabGeometry>,
+    stripes: usize,
+}
+
+impl GeometryTable {
+    /// Build the table for a stripe count.
+    pub fn new(stripes: usize) -> Self {
+        let geoms = (0..NUM_CLASSES).map(|c| SlabGeometry::compute(c, stripes)).collect();
+        GeometryTable { geoms, stripes }
+    }
+
+    /// Geometry of `class`.
+    #[inline]
+    pub fn of(&self, class: ClassId) -> &SlabGeometry {
+        &self.geoms[class]
+    }
+
+    /// The stripe count the table was built for.
+    pub fn stripes(&self) -> usize {
+        self.stripes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size_class::CLASS_SIZES;
+
+    #[test]
+    fn every_class_converges_and_fits() {
+        for stripes in [1, 2, 6, 8, 32] {
+            for c in 0..NUM_CLASSES {
+                let g = SlabGeometry::compute(c, stripes);
+                assert!(g.nblocks >= 1, "class {c} stripes {stripes}: no blocks");
+                assert!(g.data_offset.is_multiple_of(CACHE_LINE));
+                assert!(
+                    g.data_offset + g.nblocks * g.block_size <= SLAB_SIZE,
+                    "class {c}: overflows slab"
+                );
+                // Header (fixed + bitmap) must not overlap data.
+                assert!(g.bitmap_off + g.bitmap.bytes() <= g.data_offset);
+                assert!(g.bitmap.nbits() >= g.nblocks);
+            }
+        }
+    }
+
+    #[test]
+    fn small_classes_have_many_blocks() {
+        let g = SlabGeometry::compute(0, 6); // 8 B class
+        assert!(g.nblocks > 7000, "8 B class should hold ~8k blocks, got {}", g.nblocks);
+        let g64 = GeometryTable::new(6);
+        let c64 = crate::size_class::size_to_class(64).unwrap();
+        assert!(g64.of(c64).nblocks > 900);
+    }
+
+    #[test]
+    fn header_overhead_is_bounded() {
+        // Even for the 8 B class with many stripes, the header must stay a
+        // small fraction of the slab.
+        for stripes in [1, 6, 32] {
+            for (c, &size) in CLASS_SIZES.iter().enumerate() {
+                let g = SlabGeometry::compute(c, stripes);
+                assert!(
+                    g.data_offset <= SLAB_SIZE / 4,
+                    "class {c} ({size} B) stripes {stripes}: header {} too big",
+                    g.data_offset
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_offsets_disjoint_from_header() {
+        let g = SlabGeometry::compute(3, 6);
+        assert!(g.block_off(g.data_offset, 0) >= g.data_offset);
+        let last = g.block_off(g.data_offset, g.nblocks - 1);
+        assert!(last + g.block_size <= SLAB_SIZE);
+    }
+
+    #[test]
+    fn nblocks_at_shrinks_with_later_data() {
+        let g = SlabGeometry::compute(5, 6);
+        let full = g.nblocks_at(g.data_offset);
+        assert_eq!(full, g.nblocks);
+        let fewer = g.nblocks_at(g.data_offset + 1024);
+        assert!(fewer < full);
+    }
+}

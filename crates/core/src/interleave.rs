@@ -1,0 +1,220 @@
+//! The interleaved-mapping helper (§5.1) shared by slab bitmaps, WAL entry
+//! placement, and bookkeeping-log entry placement.
+//!
+//! Given `n` logical slots that live in a region of cache lines, a plain
+//! ("sequential") layout puts consecutive slots next to each other, so
+//! consecutive updates hit the same cache line and reflush it. The
+//! interleaved layout spreads consecutive logical slots across `stripes`
+//! different cache lines.
+//!
+//! For slot granularities smaller than a line (bitmap bits, 8 B log
+//! entries, 16 B WAL entries) the region is viewed as *windows* of
+//! `stripes` cache lines. Within a window holding `stripes * per_line`
+//! slots, logical slot `q` maps to line `q % stripes`, position
+//! `q / stripes` — so slots `q` and `q+1` always land on different lines
+//! (when `stripes > 1`).
+
+/// A bijective mapping from logical slot index to physical slot index for
+/// `n` slots of which `per_line` fit in one cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interleave {
+    n: usize,
+    per_line: usize,
+    stripes: usize,
+}
+
+impl Interleave {
+    /// Create a mapping. `stripes == 1` (or `per_line == 1`) degenerates to
+    /// the identity (sequential) mapping.
+    ///
+    /// # Panics
+    /// Panics if any argument is zero.
+    pub fn new(n: usize, per_line: usize, stripes: usize) -> Self {
+        assert!(n > 0 && per_line > 0 && stripes > 0, "Interleave arguments must be nonzero");
+        Interleave { n, per_line, stripes }
+    }
+
+    /// Number of logical slots.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the mapping covers no slots (never: `n > 0` is enforced).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Map logical slot `i` to its physical slot index.
+    ///
+    /// # Panics
+    /// Panics (debug) if `i >= len()`.
+    #[inline]
+    pub fn physical(&self, i: usize) -> usize {
+        debug_assert!(i < self.n);
+        let s = self.stripes;
+        if s == 1 || self.per_line == 1 {
+            return i;
+        }
+        let window_slots = s * self.per_line;
+        let window = i / window_slots;
+        let q = i % window_slots;
+        let base = window * window_slots;
+        // The final window may be partial; only interleave the full part so
+        // the mapping stays within bounds and bijective.
+        let remaining = self.n - base;
+        if remaining >= window_slots {
+            base + (q % s) * self.per_line + q / s
+        } else {
+            // Partial tail window: interleave over however many *full* lines
+            // fit, identity for the rest.
+            let full_lines = remaining / self.per_line;
+            if full_lines >= 2 && q < full_lines * self.per_line {
+                base + (q % full_lines) * self.per_line + q / full_lines
+            } else {
+                base + q
+            }
+        }
+    }
+
+    /// Map a physical slot index back to its logical index (inverse of
+    /// [`Interleave::physical`]).
+    #[inline]
+    pub fn logical(&self, p: usize) -> usize {
+        debug_assert!(p < self.n);
+        let s = self.stripes;
+        if s == 1 || self.per_line == 1 {
+            return p;
+        }
+        let window_slots = s * self.per_line;
+        let window = p / window_slots;
+        let r = p % window_slots;
+        let base = window * window_slots;
+        let remaining = self.n - base;
+        if remaining >= window_slots {
+            base + (r % self.per_line) * s + r / self.per_line
+        } else {
+            let full_lines = remaining / self.per_line;
+            if full_lines >= 2 && r < full_lines * self.per_line {
+                base + (r % self.per_line) * full_lines + r / self.per_line
+            } else {
+                base + r
+            }
+        }
+    }
+
+    /// The stripe (cache line within its window) a logical slot maps to.
+    /// Used by the tcache to group blocks whose bits share a cache line.
+    #[inline]
+    pub fn stripe_of(&self, i: usize) -> usize {
+        if self.stripes == 1 || self.per_line == 1 {
+            return 0;
+        }
+        let window_slots = self.stripes * self.per_line;
+        let base = i / window_slots * window_slots;
+        let remaining = self.n - base;
+        let q = i % window_slots;
+        if remaining >= window_slots {
+            q % self.stripes
+        } else {
+            let full_lines = remaining / self.per_line;
+            if full_lines >= 2 && q < full_lines * self.per_line {
+                q % full_lines
+            } else {
+                // Tail slots share the final line; stripe 0 is fine.
+                0
+            }
+        }
+    }
+
+    /// Number of stripes (1 = sequential layout).
+    pub fn stripes(&self) -> usize {
+        self.stripes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bijective(m: &Interleave) {
+        let mut seen = vec![false; m.len()];
+        for i in 0..m.len() {
+            let p = m.physical(i);
+            assert!(p < m.len(), "physical {p} out of range for logical {i}");
+            assert!(!seen[p], "slot {p} mapped twice");
+            seen[p] = true;
+            assert_eq!(m.logical(p), i, "inverse failed at {i}");
+        }
+    }
+
+    #[test]
+    fn sequential_is_identity() {
+        let m = Interleave::new(100, 8, 1);
+        for i in 0..100 {
+            assert_eq!(m.physical(i), i);
+        }
+    }
+
+    #[test]
+    fn bijective_exact_windows() {
+        assert_bijective(&Interleave::new(8 * 6 * 4, 8, 6));
+    }
+
+    #[test]
+    fn bijective_partial_tail() {
+        for n in [1, 5, 7, 13, 100, 121, 127, 300] {
+            for s in [1, 2, 4, 6, 8] {
+                for per_line in [1, 8, 512] {
+                    assert_bijective(&Interleave::new(n, per_line, s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_slots_hit_different_lines() {
+        // The whole point: logical i and i+1 land in different cache lines
+        // (within full windows).
+        let per_line = 8;
+        let m = Interleave::new(per_line * 6 * 10, per_line, 6);
+        for i in 0..m.len() - 1 {
+            let line_a = m.physical(i) / per_line;
+            let line_b = m.physical(i + 1) / per_line;
+            assert_ne!(line_a, line_b, "slots {i},{} share line {line_a}", i + 1);
+        }
+    }
+
+    #[test]
+    fn stripe_of_matches_physical_line_within_window() {
+        let per_line = 8;
+        let s = 4;
+        let m = Interleave::new(per_line * s * 3, per_line, s);
+        for i in 0..m.len() {
+            let window_slots = per_line * s;
+            let line_in_window = m.physical(i) % window_slots / per_line;
+            assert_eq!(m.stripe_of(i), line_in_window);
+        }
+    }
+
+    #[test]
+    fn reflush_distance_improved() {
+        // Simulate flushing the line of each consecutive slot and measure
+        // the minimum gap between repeats: sequential = 0, interleaved >= 3.
+        let gap = |stripes: usize| {
+            let m = Interleave::new(8 * 6 * 4, 8, stripes);
+            let lines: Vec<usize> = (0..m.len()).map(|i| m.physical(i) / 8).collect();
+            let mut min_gap = usize::MAX;
+            for (i, l) in lines.iter().enumerate() {
+                for (j, l2) in lines.iter().enumerate().skip(i + 1) {
+                    if l == l2 {
+                        min_gap = min_gap.min(j - i - 1);
+                        break;
+                    }
+                }
+            }
+            min_gap
+        };
+        assert_eq!(gap(1), 0);
+        assert!(gap(6) >= 5, "6 stripes must give reflush distance >= 5");
+    }
+}

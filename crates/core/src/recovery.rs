@@ -1,0 +1,532 @@
+//! Recovery (§4.4): rebuild the allocator from a pool image after a normal
+//! shutdown or a crash.
+//!
+//! Normal-shutdown path: re-create the arenas, recover the bookkeeping log
+//! (or region-table headers), reconstruct a vslab for every slab entry —
+//! including `cnt_slab`/`cnt_block` for slabs that were mid-morph — and
+//! rebuild VEHs plus the reclaimed list from the gaps between live extents.
+//!
+//! Failure path additions:
+//! * interrupted **morphs** are rolled back (flag 1–2) or forward (flag 3)
+//!   using the header flag and index table;
+//! * **NVAlloc-LOG** replays the newest WAL entry per thread micro-log in
+//!   global sequence order, completing or undoing half-finished operations;
+//! * **NVAlloc-GC** runs a conservative garbage collection from the root
+//!   slots, rebuilding every slab bitmap from the reachable set and
+//!   reclaiming leaked blocks and extents (as Makalu does).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nvalloc_pmem::{FlushKind, PmError, PmOffset, PmResult, PmemPool};
+
+use crate::arena::{arena_state, Arena};
+use crate::bitmap::PmBitmap;
+use crate::config::{NvConfig, Variant};
+use crate::front::{Layout, NvAllocator, NvInner, RecoveryReport, POOL_MAGIC};
+use crate::geometry::GeometryTable;
+use crate::large::{LargeAlloc, RecoveredExtent, VehId};
+use crate::rtree::{Owner, RTree};
+use crate::size_class::{class_size, SLAB_SIZE};
+use crate::slab::{
+    flag, header_word1, persist_flag, read_index_entry, IndexEntry, MorphState, SlabHeader,
+    VSlab, NO_OLD_CLASS,
+};
+use crate::wal::{WalEntry, WalOp, WalRegion};
+
+pub(crate) fn recover(
+    pool: Arc<PmemPool>,
+    cfg: NvConfig,
+) -> PmResult<(NvAllocator, RecoveryReport)> {
+    let cfg = NvAllocator::effective(cfg, &pool);
+    if pool.read_u64(0) != POOL_MAGIC {
+        return Err(PmError::Corrupt("pool is not NVAlloc-formatted"));
+    }
+    let layout = Layout::compute(&cfg, pool.size())?;
+    let geoms = GeometryTable::new(cfg.stripes_for(cfg.interleave_bitmap));
+    let mut t = pool.register_thread();
+    let mut report = RecoveryReport::default();
+
+    // Arena flags decide the recovery mode (§4.4).
+    let arenas: Vec<Arc<Arena>> = (0..cfg.arenas)
+        .map(|i| {
+            let wal_base =
+                layout.wal_base + (i * WalRegion::region_bytes(layout.wal_micro_count)) as u64;
+            Arc::new(Arena::reopen(
+                i as u32,
+                layout.arena_flags + (i * 64) as u64,
+                wal_base,
+                layout.wal_micro_count,
+            ))
+        })
+        .collect();
+    report.normal_shutdown =
+        arenas.iter().all(|a| a.state(&pool) == arena_state::NORMAL_SHUTDOWN);
+    for a in &arenas {
+        a.set_state(&pool, &mut t, arena_state::RECOVERY);
+    }
+
+    // Rebuild the large allocator (booklog scan or region-table scan).
+    let rtree = Arc::new(RTree::new());
+    let mut large_cfg = layout.large_config_pub(&cfg);
+    large_cfg.slow_gc_threshold = ((pool.size() as f64 * cfg.usage_pmem) as usize).max(4096);
+    let (mut large, extents) = LargeAlloc::recover(&pool, large_cfg, Arc::clone(&rtree));
+
+    // Reconstruct slabs (and resolve interrupted morphs).
+    let mut vslabs: Vec<VSlab> = Vec::new();
+    let mut bad_slab_extents: Vec<VehId> = Vec::new();
+    for e in &extents {
+        if e.is_slab {
+            match recover_slab(&pool, &mut t, &geoms, e, &mut report) {
+                Some(vs) => vslabs.push(vs),
+                None => bad_slab_extents.push(e.veh),
+            }
+        } else {
+            report.extents += 1;
+        }
+    }
+    // Slab extents whose header never persisted are leaks: free them.
+    for veh in bad_slab_extents {
+        let _ = large.free(&pool, &mut t, veh);
+        report.leaks_fixed += 1;
+    }
+    report.slabs = vslabs.len();
+
+    // Register slab ownership in the rtree (round-robin arena assignment;
+    // the original assignment is not persisted and does not affect
+    // correctness).
+    for (i, vs) in vslabs.iter().enumerate() {
+        let arena = (i % cfg.arenas) as u32;
+        rtree.insert_range(vs.off, SLAB_SIZE, Owner::Slab { slab: vs.off, arena }.pack());
+    }
+
+    // Failure-only repairs.
+    if !report.normal_shutdown {
+        match cfg.variant {
+            Variant::Log => {
+                replay_wals(&pool, &cfg, &layout, &geoms, &arenas, &mut large, &mut vslabs, &mut report)?;
+            }
+            Variant::Gc => {
+                conservative_gc(&pool, &layout, &geoms, &mut large, &mut vslabs, &mut report)?;
+            }
+            Variant::Internal => {
+                // Internal collection: the persisted bitmaps and booklog
+                // are authoritative and every object is enumerable, so
+                // nothing can leak and nothing needs replaying (§7).
+            }
+        }
+    }
+
+    // Volatile state: resync every vslab against the (possibly repaired)
+    // persistent bitmaps and hand slabs to their arenas.
+    let mut live_bytes = 0usize;
+    for (i, mut vs) in vslabs.into_iter().enumerate() {
+        vs.resync_from_persistent(&pool, &geoms);
+        live_bytes += (vs.nblocks - vs.nfree) * class_size(vs.class);
+        if let Some(m) = &vs.morph {
+            live_bytes += m.cnt_slab * class_size(m.old_class);
+            // Blocks withheld by cnt_block are not live allocations.
+            let withheld: usize =
+                m.cnt_block.iter().take(vs.nblocks).filter(|&&c| c > 0).count();
+            live_bytes -= withheld.min(vs.nblocks - vs.nfree) * class_size(vs.class);
+        }
+        let arena = &arenas[i % cfg.arenas];
+        arena.inner.lock().add_slab(vs);
+    }
+    for e in &extents {
+        // Only extents still *active* after the repairs count as live
+        // (WAL replay / GC may have freed orphans to the reclaimed list).
+        let active = large
+            .veh(e.veh)
+            .is_some_and(|v| v.state == crate::large::ExtentState::Active && v.off == e.off);
+        if !e.is_slab && active {
+            live_bytes += e.size;
+        }
+    }
+
+    // Highest surviving WAL sequence so new entries keep winning replays.
+    let max_seq = arenas
+        .iter()
+        .flat_map(|a| a.wal.replay_entries(&pool))
+        .map(|e| e.seq)
+        .max()
+        .unwrap_or(0);
+
+    for a in &arenas {
+        a.set_state(&pool, &mut t, arena_state::RUNNING);
+    }
+
+    let alloc = NvAllocator(Arc::new(NvInner {
+        pool,
+        cfg,
+        geoms,
+        layout,
+        arenas,
+        large: Mutex::new(large),
+        rtree,
+        live_bytes: AtomicUsize::new(live_bytes),
+        wal_seq: AtomicU64::new(max_seq + 1),
+    }));
+    Ok((alloc, report))
+}
+
+/// Rebuild one slab's vslab from its persistent header, rolling
+/// interrupted morphs back or forward first. Returns `None` for slabs
+/// whose header never persisted.
+fn recover_slab(
+    pool: &PmemPool,
+    t: &mut nvalloc_pmem::PmThread,
+    geoms: &GeometryTable,
+    e: &RecoveredExtent,
+    report: &mut RecoveryReport,
+) -> Option<VSlab> {
+    let mut h = SlabHeader::read(pool, e.off)?;
+    if (h.class as usize) >= crate::size_class::NUM_CLASSES {
+        return None;
+    }
+
+    // Resolve interrupted morphs via the step flag (§5.2).
+    if h.flag != flag::NONE {
+        report.morphs_resolved += 1;
+        match h.flag {
+            flag::OLD_SAVED => {
+                // Undo step 1: clear the old-layout fields.
+                pool.write_u64(e.off + 8, header_word1(h.data_offset, NO_OLD_CLASS, 0));
+                pool.write_u64(e.off + 16, 0);
+                pool.flush(t, e.off + 8, 16, FlushKind::Meta);
+                persist_flag(pool, t, e.off, h.class, flag::NONE);
+            }
+            flag::INDEX_WRITTEN => {
+                // Undo steps 1–2. The bitmap may be partially overwritten
+                // by an interrupted step 3: rebuild it from the index
+                // table, which is authoritative at this point.
+                let g = geoms.of(h.class as usize);
+                let bm = PmBitmap::new(e.off + g.bitmap_off as u64, g.bitmap);
+                bm.clear_all(pool);
+                for i in 0..h.index_len as usize {
+                    let entry = read_index_entry(pool, e.off, h.index_table_off, i);
+                    if entry.allocated {
+                        bm.write_volatile(pool, entry.old_idx as usize, true);
+                    }
+                }
+                pool.flush(t, e.off + g.bitmap_off as u64, g.bitmap.bytes(), FlushKind::Meta);
+                pool.write_u64(e.off + 8, header_word1(h.old_data_offset, NO_OLD_CLASS, 0));
+                pool.write_u64(e.off + 16, 0);
+                pool.flush(t, e.off + 8, 16, FlushKind::Meta);
+                persist_flag(pool, t, e.off, h.class, flag::NONE);
+            }
+            flag::NEW_WRITTEN => {
+                // Step 3 completed: roll forward.
+                persist_flag(pool, t, e.off, h.class, flag::NONE);
+            }
+            _ => return None,
+        }
+        h = SlabHeader::read(pool, e.off)?;
+    }
+
+    let class = h.class as usize;
+    let g = geoms.of(class);
+    let data_offset = h.data_offset as usize;
+    if data_offset < g.bitmap_off || data_offset > SLAB_SIZE {
+        return None;
+    }
+    let nblocks = g.nblocks_at(data_offset);
+    let morph_state = (h.old_class != NO_OLD_CLASS).then(|| {
+        let index: Vec<IndexEntry> = (0..h.index_len as usize)
+            .map(|i| read_index_entry(pool, e.off, h.index_table_off, i))
+            .collect();
+        let old_class = (h.old_class as usize).min(crate::size_class::NUM_CLASSES - 1);
+        let old_bs = class_size(old_class);
+        let mut cnt_block = vec![0u16; nblocks];
+        let mut cnt_slab = 0;
+        for entry in index.iter().filter(|e| e.allocated) {
+            cnt_slab += 1;
+            let start = h.old_data_offset as usize + entry.old_idx as usize * old_bs;
+            let end = start + old_bs;
+            if end > data_offset && !cnt_block.is_empty() {
+                let bs = class_size(class);
+                let first = start.saturating_sub(data_offset) / bs;
+                let last = ((end - 1).saturating_sub(data_offset) / bs).min(nblocks - 1);
+                for c in cnt_block.iter_mut().take(last + 1).skip(first) {
+                    *c += 1;
+                }
+            }
+        }
+        MorphState {
+            old_class,
+            old_data_offset: h.old_data_offset as usize,
+            index_off: h.index_table_off as usize,
+            index,
+            cnt_slab,
+            cnt_block,
+        }
+    });
+
+    let mut vs = VSlab::create_shell(e.off, class, e.veh, data_offset, nblocks);
+    vs.morph = morph_state;
+    Some(vs)
+}
+
+/// NVAlloc-LOG failure recovery: replay the newest WAL entry of every
+/// micro-log in global sequence order (§4.4).
+#[allow(clippy::too_many_arguments)]
+fn replay_wals(
+    pool: &PmemPool,
+    cfg: &NvConfig,
+    layout: &Layout,
+    geoms: &GeometryTable,
+    arenas: &[Arc<Arena>],
+    large: &mut LargeAlloc,
+    vslabs: &mut [VSlab],
+    report: &mut RecoveryReport,
+) -> PmResult<()> {
+    let _ = (cfg, layout);
+    let mut t = pool.register_thread();
+    let mut entries: Vec<WalEntry> =
+        arenas.iter().flat_map(|a| a.wal.replay_entries(pool)).collect();
+    entries.sort_by_key(|e| e.seq);
+    // Later entries supersede earlier ones for the same block.
+    let mut latest: HashMap<PmOffset, WalEntry> = HashMap::new();
+    for e in &entries {
+        latest.insert(e.addr, *e);
+    }
+    let mut by_slab: HashMap<PmOffset, &mut VSlab> =
+        vslabs.iter_mut().map(|v| (v.off, v)).collect();
+
+    for e in latest.values() {
+        report.wal_replayed += 1;
+        let committed_alloc = pool.read_u64(e.dest) == e.addr;
+        let slab_off = e.addr & !(SLAB_SIZE as u64 - 1);
+        if let Some(vs) = by_slab.get_mut(&slab_off) {
+            let should_be_live = matches!(e.op, WalOp::Alloc) && committed_alloc;
+            // Old-class (morph) block?
+            if let Some(m) = vs.morph.as_mut() {
+                let old_bs = class_size(m.old_class) as u64;
+                let rel = e.addr.wrapping_sub(slab_off + m.old_data_offset as u64);
+                if rel % old_bs == 0 {
+                    let old_idx = (rel / old_bs) as u16;
+                    if let Some(pos) = m.index.iter().position(|x| x.old_idx == old_idx) {
+                        if m.index[pos].allocated != should_be_live {
+                            crate::slab::persist_index_entry(
+                                pool,
+                                &mut t,
+                                slab_off,
+                                m.index_off as u32,
+                                pos,
+                                IndexEntry { old_idx, allocated: should_be_live },
+                            );
+                            m.index[pos].allocated = should_be_live;
+                            report.leaks_fixed += 1;
+                            // cnt fields are rebuilt below from the index.
+                            rebuild_counts(vs.morph.as_mut().expect("morph"), vs.data_offset, class_size(vs.class), vs.nblocks);
+                        }
+                        continue;
+                    }
+                }
+            }
+            let g = geoms.of(vs.class);
+            let Some(idx) = vs.block_index(e.addr) else { continue };
+            let bm = PmBitmap::new(slab_off + g.bitmap_off as u64, g.bitmap);
+            if bm.get(pool, idx) != should_be_live {
+                if should_be_live {
+                    bm.set_persist(pool, &mut t, idx);
+                } else {
+                    bm.clear_persist(pool, &mut t, idx);
+                }
+                report.leaks_fixed += 1;
+            }
+            if matches!(e.op, WalOp::Free) && committed_alloc {
+                // The free never finished clearing the destination.
+                pool.persist_u64(&mut t, e.dest, 0, FlushKind::Meta);
+            }
+        } else if let Some(Owner::Extent { veh }) =
+            large_owner_of(large, e.addr)
+        {
+            let should_be_live = matches!(e.op, WalOp::Alloc) && committed_alloc;
+            if !should_be_live {
+                if matches!(e.op, WalOp::Free) && committed_alloc {
+                    pool.persist_u64(&mut t, e.dest, 0, FlushKind::Meta);
+                }
+                if large.free(pool, &mut t, veh).is_ok() {
+                    report.leaks_fixed += 1;
+                }
+            }
+        } else if matches!(e.op, WalOp::Alloc) && !committed_alloc {
+            // Nothing persisted for this allocation: nothing to undo.
+        }
+    }
+    Ok(())
+}
+
+fn large_owner_of(large: &LargeAlloc, addr: PmOffset) -> Option<Owner> {
+    large.rtree().lookup(addr).map(Owner::unpack).filter(|o| match o {
+        Owner::Extent { veh } => large.veh(*veh).is_some_and(|v| v.off == addr),
+        _ => false,
+    })
+}
+
+fn rebuild_counts(m: &mut MorphState, data_offset: usize, bs: usize, nblocks: usize) {
+    let old_bs = class_size(m.old_class);
+    m.cnt_block = vec![0u16; nblocks];
+    m.cnt_slab = 0;
+    for e in m.index.iter().filter(|e| e.allocated) {
+        m.cnt_slab += 1;
+        let start = m.old_data_offset + e.old_idx as usize * old_bs;
+        let end = start + old_bs;
+        if end > data_offset && nblocks > 0 {
+            let first = start.saturating_sub(data_offset) / bs;
+            let last = ((end - 1).saturating_sub(data_offset) / bs).min(nblocks - 1);
+            for j in first..=last {
+                m.cnt_block[j] += 1;
+            }
+        }
+    }
+}
+
+/// NVAlloc-GC failure recovery: conservative mark from the root slots,
+/// then rebuild every slab bitmap and free unreachable extents (§4.4,
+/// following Makalu).
+fn conservative_gc(
+    pool: &PmemPool,
+    layout: &Layout,
+    geoms: &GeometryTable,
+    large: &mut LargeAlloc,
+    vslabs: &mut [VSlab],
+    report: &mut RecoveryReport,
+) -> PmResult<()> {
+    let mut t = pool.register_thread();
+    let by_slab: HashMap<PmOffset, usize> =
+        vslabs.iter().enumerate().map(|(i, v)| (v.off, i)).collect();
+
+    // Mark phase: BFS over pointer-looking words.
+    let mut marked: HashSet<PmOffset> = HashSet::new();
+    let mut queue: VecDeque<(PmOffset, usize)> = VecDeque::new(); // (block start, len)
+
+    let push_candidate = |p: PmOffset,
+                              marked: &mut HashSet<PmOffset>,
+                              queue: &mut VecDeque<(PmOffset, usize)>| {
+        if p == 0 || p as usize >= pool.size() {
+            return false;
+        }
+        let slab_off = p & !(SLAB_SIZE as u64 - 1);
+        if let Some(&vi) = by_slab.get(&slab_off) {
+            let vs = &vslabs[vi];
+            // New-class block start?
+            if let Some(_idx) = vs.block_index(p) {
+                if marked.insert(p) {
+                    queue.push_back((p, vs.block_size()));
+                    return true;
+                }
+                return false;
+            }
+            // Live old-class block start?
+            if let Some(m) = &vs.morph {
+                let old_bs = class_size(m.old_class) as u64;
+                let rel = p.wrapping_sub(slab_off + m.old_data_offset as u64);
+                if rel.is_multiple_of(old_bs) && m.index.iter().any(|e| e.old_idx as u64 == rel / old_bs)
+                    && marked.insert(p) {
+                        queue.push_back((p, old_bs as usize));
+                        return true;
+                    }
+            }
+            return false;
+        }
+        if let Some(Owner::Extent { veh }) = large_owner_of(large, p) {
+            let size = large.veh(veh).expect("validated").size;
+            if marked.insert(p) {
+                queue.push_back((p, size));
+                return true;
+            }
+        }
+        false
+    };
+
+    // Roots.
+    for i in 0..layout.roots_count {
+        let p = pool.read_u64(layout.roots + (i * 8) as u64);
+        push_candidate(p, &mut marked, &mut queue);
+    }
+    // Transitive closure.
+    while let Some((start, len)) = queue.pop_front() {
+        let mut off = start;
+        let end = start + len as u64;
+        while off + 8 <= end {
+            let p = pool.read_u64(off);
+            push_candidate(p, &mut marked, &mut queue);
+            off += 8;
+        }
+    }
+    report.gc_live_blocks = marked.len();
+
+    // Rebuild slab bitmaps from the mark set.
+    for vs in vslabs.iter_mut() {
+        let g = geoms.of(vs.class);
+        let bm = PmBitmap::new(vs.off + g.bitmap_off as u64, g.bitmap);
+        let before = bm.count_set(pool);
+        bm.clear_all(pool);
+        let mut after = 0;
+        for idx in 0..vs.nblocks {
+            let addr = vs.block_addr(idx);
+            if marked.contains(&addr) {
+                bm.write_volatile(pool, idx, true);
+                after += 1;
+            }
+        }
+        report.leaks_fixed += before.saturating_sub(after);
+        // Morph index entries: unreachable old blocks die.
+        let (doff, bs, nblocks, off) = (vs.data_offset, vs.block_size(), vs.nblocks, vs.off);
+        if let Some(m) = vs.morph.as_mut() {
+            for pos in 0..m.index.len() {
+                let e = m.index[pos];
+                if !e.allocated {
+                    continue;
+                }
+                let addr = off + (m.old_data_offset + e.old_idx as usize * class_size(m.old_class)) as u64;
+                if !marked.contains(&addr) {
+                    m.index[pos].allocated = false;
+                    crate::slab::persist_index_entry(
+                        pool,
+                        &mut t,
+                        off,
+                        m.index_off as u32,
+                        pos,
+                        IndexEntry { allocated: false, ..e },
+                    );
+                    report.leaks_fixed += 1;
+                }
+            }
+            rebuild_counts(m, doff, bs, nblocks);
+        }
+        pool.flush(&mut t, vs.off, vs.data_offset, FlushKind::Meta);
+    }
+    pool.fence(&mut t);
+
+    // Free unreachable non-slab extents.
+    let unreachable: Vec<VehId> = large_active_nonslab(large)
+        .into_iter()
+        .filter(|(_, off)| !marked.contains(off))
+        .map(|(veh, _)| veh)
+        .collect();
+    for veh in unreachable {
+        if large.free(pool, &mut t, veh).is_ok() {
+            report.leaks_fixed += 1;
+        }
+    }
+    // Clear any root slots that pointed at garbage.
+    for i in 0..layout.roots_count {
+        let slot = layout.roots + (i * 8) as u64;
+        let p = pool.read_u64(slot);
+        if p != 0 && !marked.contains(&p) {
+            pool.persist_u64(&mut t, slot, 0, FlushKind::Meta);
+        }
+    }
+    Ok(())
+}
+
+fn large_active_nonslab(large: &LargeAlloc) -> Vec<(VehId, PmOffset)> {
+    large.active_extents().into_iter().filter(|(_, _, is_slab)| !*is_slab).map(|(v, o, _)| (v, o)).collect()
+}
+

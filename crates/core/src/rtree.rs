@@ -1,0 +1,212 @@
+//! Address radix tree ("R-tree" in the paper, after jemalloc's rtree).
+//!
+//! Maps 4 KB-aligned pool pages to an opaque `u64` handle so that
+//! `free(addr)` can find the slab or extent that owns `addr` (§4.2: "the
+//! working thread will first use an R-tree to find its size class").
+//!
+//! Three levels of 2048/2048/… fan-out over the page number; lookups take
+//! a read lock, updates a write lock. Covering a range registers every
+//! page in it.
+
+use parking_lot::RwLock;
+
+use nvalloc_pmem::PmOffset;
+
+const PAGE_SHIFT: u32 = 12;
+const L1_BITS: u32 = 11;
+const L2_BITS: u32 = 11;
+const L3_BITS: u32 = 11;
+const FANOUT: usize = 1 << L1_BITS;
+
+type Leaf = Box<[u64; FANOUT]>;
+type Mid = Vec<Option<Leaf>>;
+
+#[derive(Debug, Default)]
+struct Nodes {
+    root: Vec<Option<Mid>>,
+}
+
+/// Concurrent radix tree keyed by pool offset, storing one `u64` value per
+/// 4 KB page (0 = unmapped).
+#[derive(Debug)]
+pub struct RTree {
+    inner: RwLock<Nodes>,
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RTree {
+    /// Create an empty tree.
+    pub fn new() -> Self {
+        RTree { inner: RwLock::new(Nodes { root: Vec::new() }) }
+    }
+
+    #[inline]
+    fn split(off: PmOffset) -> (usize, usize, usize) {
+        let page = off >> PAGE_SHIFT;
+        let i3 = (page & ((1 << L3_BITS) - 1)) as usize;
+        let i2 = (page >> L3_BITS & ((1 << L2_BITS) - 1)) as usize;
+        let i1 = (page >> (L3_BITS + L2_BITS)) as usize;
+        debug_assert!(i1 < 1 << L1_BITS, "offset {off:#x} beyond rtree coverage");
+        (i1, i2, i3)
+    }
+
+    /// Look up the value covering `off` (any byte within a registered
+    /// range). Returns `None` for unmapped addresses.
+    pub fn lookup(&self, off: PmOffset) -> Option<u64> {
+        let (i1, i2, i3) = Self::split(off);
+        let g = self.inner.read();
+        let v = *g.root.get(i1)?.as_ref()?.get(i2)?.as_ref()?.get(i3)?;
+        (v != 0).then_some(v)
+    }
+
+    /// Register `value` for every page in `[off, off + len)`.
+    ///
+    /// # Panics
+    /// Panics if `value == 0` (reserved for "unmapped") or `off` is not
+    /// page aligned.
+    pub fn insert_range(&self, off: PmOffset, len: usize, value: u64) {
+        assert!(value != 0, "rtree value 0 is reserved");
+        assert_eq!(off & ((1 << PAGE_SHIFT) - 1), 0, "range must be page aligned");
+        let mut g = self.inner.write();
+        let pages = (len as u64).div_ceil(1 << PAGE_SHIFT);
+        for p in 0..pages {
+            let (i1, i2, i3) = Self::split(off + (p << PAGE_SHIFT));
+            if g.root.len() <= i1 {
+                g.root.resize_with(i1 + 1, || None);
+            }
+            let mid = g.root[i1].get_or_insert_with(Vec::new);
+            if mid.len() <= i2 {
+                mid.resize_with(i2 + 1, || None);
+            }
+            let leaf = mid[i2].get_or_insert_with(|| Box::new([0u64; FANOUT]));
+            leaf[i3] = value;
+        }
+    }
+
+    /// Remove the registration for every page in `[off, off + len)`.
+    pub fn remove_range(&self, off: PmOffset, len: usize) {
+        let mut g = self.inner.write();
+        let pages = (len as u64).div_ceil(1 << PAGE_SHIFT);
+        for p in 0..pages {
+            let (i1, i2, i3) = Self::split(off + (p << PAGE_SHIFT));
+            if let Some(Some(mid)) = g.root.get_mut(i1) {
+                if let Some(Some(leaf)) = mid.get_mut(i2) {
+                    leaf[i3] = 0;
+                }
+            }
+        }
+    }
+}
+
+/// What an rtree handle points at. Packed into the stored `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Owner {
+    /// A small-allocation slab at this slab base offset.
+    Slab {
+        /// Pool offset of the slab base.
+        slab: PmOffset,
+        /// Arena that owns the slab.
+        arena: u32,
+    },
+    /// A large extent; the handle is the VEH id.
+    Extent {
+        /// Index of the virtual extent header.
+        veh: u32,
+    },
+}
+
+const TAG_SLAB: u64 = 1;
+const TAG_EXTENT: u64 = 2;
+
+impl Owner {
+    /// Pack for storage in the rtree.
+    pub fn pack(self) -> u64 {
+        match self {
+            // Slab bases are 64 KB aligned: the low 16 bits are free for
+            // the tag and arena id.
+            Owner::Slab { slab, arena } => {
+                debug_assert_eq!(slab % crate::size_class::SLAB_SIZE as u64, 0);
+                debug_assert!(arena < 1 << 14);
+                TAG_SLAB | (arena as u64) << 2 | slab
+            }
+            Owner::Extent { veh } => TAG_EXTENT | (veh as u64) << 2,
+        }
+    }
+
+    /// Unpack a stored handle.
+    pub fn unpack(v: u64) -> Owner {
+        match v & 0b11 {
+            TAG_SLAB => Owner::Slab { slab: v & !0xffff, arena: (v >> 2 & 0x3fff) as u32 },
+            TAG_EXTENT => Owner::Extent { veh: (v >> 2) as u32 },
+            t => unreachable!("corrupt rtree tag {t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_unmapped_is_none() {
+        let t = RTree::new();
+        assert_eq!(t.lookup(0), None);
+        assert_eq!(t.lookup(123 << 20), None);
+    }
+
+    #[test]
+    fn range_roundtrip() {
+        let t = RTree::new();
+        t.insert_range(64 << 10, 64 << 10, 42);
+        assert_eq!(t.lookup(64 << 10), Some(42));
+        assert_eq!(t.lookup((64 << 10) + 5000), Some(42));
+        assert_eq!(t.lookup((128 << 10) - 1), Some(42));
+        assert_eq!(t.lookup(128 << 10), None);
+        assert_eq!(t.lookup((64 << 10) - 1), None);
+        t.remove_range(64 << 10, 64 << 10);
+        assert_eq!(t.lookup(64 << 10), None);
+    }
+
+    #[test]
+    fn spans_level_boundaries() {
+        let t = RTree::new();
+        // A range crossing an 8 MB (L3) boundary.
+        let base = (1u64 << (PAGE_SHIFT + L3_BITS)) - 8192;
+        t.insert_range(base, 16384, 7);
+        assert_eq!(t.lookup(base), Some(7));
+        assert_eq!(t.lookup(base + 16383), Some(7));
+    }
+
+    #[test]
+    fn owner_packing_roundtrip() {
+        let s = Owner::Slab { slab: 7 * crate::size_class::SLAB_SIZE as u64, arena: 3 };
+        assert_eq!(Owner::unpack(s.pack()), s);
+        let e = Owner::Extent { veh: 12345 };
+        assert_eq!(Owner::unpack(e.pack()), e);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let t = std::sync::Arc::new(RTree::new());
+        std::thread::scope(|s| {
+            for k in 0..4u64 {
+                let t = std::sync::Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        let off = (k * 100 + i) * 4096;
+                        t.insert_range(off, 4096, off + 1);
+                        assert_eq!(t.lookup(off), Some(off + 1));
+                    }
+                });
+            }
+        });
+        for k in 0..400u64 {
+            assert_eq!(t.lookup(k * 4096), Some(k * 4096 + 1));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Size classes for small allocations.
+//!
+//! Small requests (≤ 16 KB, the paper's boundary) are rounded up to one of
+//! [`NUM_CLASSES`] size classes and served from 64 KB slabs; anything larger
+//! goes to the large (extent) allocator. The class table follows the
+//! jemalloc spacing the paper builds on: 16-byte spacing up to 128 B, then
+//! four classes per size doubling.
+
+/// Index into the size-class table.
+pub type ClassId = usize;
+
+/// Slab size in bytes (§2.1: "The slab size is 64 KB in this paper").
+pub const SLAB_SIZE: usize = 64 * 1024;
+
+/// Smallest request routed to the large allocator. Requests of exactly
+/// 16 KB still fit a slab (4 blocks); strictly larger ones do not.
+pub const LARGE_MIN: usize = 16 * 1024 + 1;
+
+/// The size-class table: 8, 16, 32, 48 … 128, then 4 classes per doubling
+/// up to 16 KB.
+pub const CLASS_SIZES: [usize; 37] = [
+    8, 16, 32, 48, 64, 80, 96, 112, 128, // 16-byte spacing
+    160, 192, 224, 256, // /32
+    320, 384, 448, 512, // /64
+    640, 768, 896, 1024, // /128
+    1280, 1536, 1792, 2048, // /256
+    2560, 3072, 3584, 4096, // /512
+    5120, 6144, 7168, 8192, // /1024
+    10240, 12288, 14336, 16384, // /2048
+];
+
+/// Number of size classes.
+pub const NUM_CLASSES: usize = CLASS_SIZES.len();
+
+/// Block size of a class.
+///
+/// # Panics
+/// Panics if `class >= NUM_CLASSES`.
+#[inline]
+pub fn class_size(class: ClassId) -> usize {
+    CLASS_SIZES[class]
+}
+
+/// Map a request size to the smallest class that fits, or `None` if the
+/// request is large (> 16 KB) or zero.
+#[inline]
+pub fn size_to_class(size: usize) -> Option<ClassId> {
+    if size == 0 || size > CLASS_SIZES[NUM_CLASSES - 1] {
+        return None;
+    }
+    // Binary search for the first class >= size.
+    match CLASS_SIZES.binary_search(&size) {
+        Ok(i) => Some(i),
+        Err(i) => Some(i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_strictly_increasing_and_aligned() {
+        for w in CLASS_SIZES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &s in &CLASS_SIZES {
+            assert_eq!(s % 8, 0, "class {s} must be 8-byte aligned");
+        }
+    }
+
+    #[test]
+    fn size_to_class_rounds_up() {
+        assert_eq!(size_to_class(1), Some(0));
+        assert_eq!(size_to_class(8), Some(0));
+        assert_eq!(size_to_class(9), Some(1));
+        assert_eq!(class_size(size_to_class(100).unwrap()), 112);
+        assert_eq!(size_to_class(16384), Some(NUM_CLASSES - 1));
+        assert_eq!(size_to_class(16385), None);
+        assert_eq!(size_to_class(0), None);
+    }
+
+    #[test]
+    fn every_size_fits_its_class() {
+        for size in 1..=16384usize {
+            let c = size_to_class(size).expect("small size must map");
+            assert!(class_size(c) >= size);
+            if c > 0 {
+                assert!(class_size(c - 1) < size, "class not minimal for {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn internal_fragmentation_bounded() {
+        // jemalloc-style spacing keeps worst-case internal fragmentation
+        // under 50 % (and under 25 % past 128 B).
+        for size in 129..=16384usize {
+            let c = size_to_class(size).unwrap();
+            let waste = class_size(c) - size;
+            assert!((waste as f64) < 0.25 * size as f64 + 1.0, "size {size} wastes {waste}");
+        }
+    }
+
+    #[test]
+    fn class_fits_slab() {
+        for &s in &CLASS_SIZES {
+            assert!(SLAB_SIZE / s >= 4, "class {s} must yield >= 4 blocks per slab");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! The internal-collection variant (NVAlloc-IC, the paper's §4.1 future
+//! work): no WAL, objects enumerable, strongly consistent with a single
+//! metadata flush per operation.
+
+use std::sync::Arc;
+
+use nvalloc::api::PmAllocator;
+use nvalloc::{NvAllocator, NvConfig};
+use nvalloc_pmem::{FlushKind, LatencyMode, PmemConfig, PmemPool};
+
+fn pool(track: bool) -> Arc<PmemPool> {
+    PmemPool::new(
+        PmemConfig::default()
+            .pool_size(64 << 20)
+            .latency_mode(LatencyMode::Virtual)
+            .crash_tracking(track),
+    )
+}
+
+#[test]
+fn ic_does_not_write_wal() {
+    let p = pool(false);
+    let a = NvAllocator::create(Arc::clone(&p), NvConfig::internal()).unwrap();
+    assert_eq!(a.name(), "NVAlloc-IC");
+    let mut t = a.thread();
+    for i in 0..100 {
+        t.malloc_to(64, a.root_offset(i)).unwrap();
+    }
+    let s = p.stats().snapshot();
+    assert_eq!(s.flushes_of(FlushKind::Wal), 0, "IC must not touch the WAL");
+    assert!(s.flushes_of(FlushKind::Meta) > 0, "bitmaps still persisted");
+}
+
+#[test]
+fn ic_enumerates_every_live_object() {
+    let p = pool(false);
+    let a = NvAllocator::create(Arc::clone(&p), NvConfig::internal()).unwrap();
+    let mut t = a.thread();
+    let mut expect = std::collections::HashSet::new();
+    for i in 0..300usize {
+        let sz = [16usize, 100, 1024, 20 << 10, 100 << 10][i % 5];
+        let addr = t.malloc_to(sz, a.root_offset(i)).unwrap();
+        expect.insert(addr);
+    }
+    for i in (0..300).step_by(3) {
+        let addr = p.read_u64(a.root_offset(i));
+        t.free_from(a.root_offset(i)).unwrap();
+        expect.remove(&addr);
+    }
+    let objs = a.objects();
+    let got: std::collections::HashSet<u64> = objs.iter().map(|(o, _)| *o).collect();
+    assert_eq!(got, expect, "objects() must enumerate exactly the live set");
+    // Sizes cover the requests.
+    for (off, size) in objs {
+        let _ = (off, size);
+        assert!(size >= 8);
+    }
+}
+
+#[test]
+fn ic_cheaper_than_log_per_op() {
+    let run = |cfg: NvConfig| {
+        let p = pool(false);
+        let a = NvAllocator::create(Arc::clone(&p), cfg).unwrap();
+        let mut t = a.thread();
+        for i in 0..500 {
+            t.malloc_to(64, a.root_offset(i * 8)).unwrap();
+        }
+        t.pm().virtual_ns()
+    };
+    let log = run(NvConfig::log());
+    let ic = run(NvConfig::internal());
+    assert!(ic < log, "IC ({ic}ns) must beat LOG ({log}ns): one less flush per op");
+}
+
+#[test]
+fn ic_survives_crash_without_wal() {
+    let p = pool(true);
+    let a = NvAllocator::create(Arc::clone(&p), NvConfig::internal()).unwrap();
+    let mut t = a.thread();
+    let mut live = std::collections::HashMap::new();
+    for i in 0..400usize {
+        let sz = 32 + i % 900;
+        let addr = t.malloc_to(sz, a.root_offset(i)).unwrap();
+        p.write_u64(addr, i as u64 | 0x1C << 56);
+        p.flush(t.pm_mut(), addr, 8, FlushKind::Data);
+        live.insert(i, addr);
+    }
+    for i in (0..400).step_by(2) {
+        t.free_from(a.root_offset(i)).unwrap();
+        live.remove(&i);
+    }
+    p.fence(t.pm_mut());
+    let img = PmemPool::from_crash_image(p.crash());
+    let (a2, report) = NvAllocator::recover(Arc::clone(&img), NvConfig::internal()).unwrap();
+    assert!(!report.normal_shutdown);
+    assert_eq!(report.wal_replayed, 0, "IC recovery replays nothing");
+    // Committed objects are enumerable and intact.
+    let objs: std::collections::HashSet<u64> =
+        a2.objects().iter().map(|(o, _)| *o).collect();
+    for (&i, &addr) in &live {
+        assert!(objs.contains(&addr), "object {i} missing from collection");
+        assert_eq!(img.read_u64(addr), i as u64 | 0x1C << 56);
+    }
+    // And freeable.
+    let mut t2 = a2.thread();
+    for &i in live.keys() {
+        t2.free_from(a2.root_offset(i)).unwrap();
+    }
+    assert_eq!(a2.live_bytes(), 0);
+}

@@ -1,0 +1,116 @@
+//! Property-based tests over the core data structures (via the
+//! `internals` module): interleave bijectivity, bitmap-layout uniqueness,
+//! rtree model equivalence, and the size-class contract.
+
+use nvalloc::internals::{BitmapLayout, Interleave, Owner, RTree};
+use nvalloc::{class_size, size_to_class};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn interleave_is_bijective(
+        n in 1usize..2000,
+        per_line in prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(512)],
+        stripes in 1usize..40,
+    ) {
+        let m = Interleave::new(n, per_line, stripes);
+        let mut seen = vec![false; n];
+        for i in 0..n {
+            let p = m.physical(i);
+            prop_assert!(p < n, "physical {p} out of bounds");
+            prop_assert!(!seen[p], "slot {p} hit twice");
+            seen[p] = true;
+            prop_assert_eq!(m.logical(p), i, "inverse mismatch");
+        }
+    }
+
+    #[test]
+    fn interleave_spreads_full_windows(
+        windows in 1usize..20,
+        per_line in prop_oneof![Just(2usize), Just(8)],
+        stripes in 2usize..12,
+    ) {
+        let n = windows * per_line * stripes;
+        let m = Interleave::new(n, per_line, stripes);
+        for i in 0..n - 1 {
+            let a = m.physical(i) / per_line;
+            let b = m.physical(i + 1) / per_line;
+            prop_assert_ne!(a, b, "consecutive slots {} and {} share a line", i, i + 1);
+        }
+    }
+
+    #[test]
+    fn bitmap_layout_bits_unique(n in 1usize..9000, stripes in 1usize..40) {
+        let l = BitmapLayout::new(n, stripes);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            let loc = l.location(i);
+            prop_assert!(loc.0 < l.bytes());
+            prop_assert!(seen.insert(loc), "bit collision at {i}");
+        }
+    }
+
+    #[test]
+    fn bitmap_interleaved_neighbours_differ(n in 64usize..9000, stripes in 2usize..17) {
+        let l = BitmapLayout::new(n, stripes);
+        if l.stripes() < 2 {
+            return Ok(());
+        }
+        for i in 0..n - 1 {
+            let (a, _) = l.location(i);
+            let (b, _) = l.location(i + 1);
+            prop_assert_ne!(a / 64, b / 64, "blocks {} and {} share a cache line", i, i + 1);
+        }
+    }
+
+    #[test]
+    fn size_class_contract(size in 1usize..16384) {
+        let c = size_to_class(size).expect("small sizes map");
+        prop_assert!(class_size(c) >= size, "class too small");
+        if c > 0 {
+            prop_assert!(class_size(c - 1) < size, "class not minimal");
+        }
+    }
+
+    #[test]
+    fn owner_packing_roundtrips(slab_idx in 0u64..1 << 20, arena in 0u32..1 << 14, veh in any::<u32>()) {
+        let s = Owner::Slab { slab: slab_idx * nvalloc::SLAB_SIZE as u64, arena };
+        prop_assert_eq!(Owner::unpack(s.pack()), s);
+        let e = Owner::Extent { veh: veh >> 2 };
+        prop_assert_eq!(Owner::unpack(e.pack()), e);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rtree_matches_model(ops in proptest::collection::vec(
+        (0u64..256, 1usize..8, any::<bool>()), 1..100,
+    )) {
+        let tree = RTree::new();
+        let mut model: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (page, len, insert) in ops {
+            let off = page * 4096;
+            let bytes = len * 4096;
+            if insert {
+                let value = off + 1;
+                tree.insert_range(off, bytes, value);
+                for p in page..page + len as u64 {
+                    model.insert(p, value);
+                }
+            } else {
+                tree.remove_range(off, bytes);
+                for p in page..page + len as u64 {
+                    model.remove(&p);
+                }
+            }
+        }
+        for page in 0..264u64 {
+            let got = tree.lookup(page * 4096 + 123);
+            prop_assert_eq!(got, model.get(&page).copied(), "page {}", page);
+        }
+    }
+}

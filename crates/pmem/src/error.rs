@@ -1,0 +1,52 @@
+//! Error type shared by the PM substrate and everything built on it.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the PM substrate and by allocators built on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PmError {
+    /// An access touched bytes outside the pool.
+    OutOfBounds {
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: usize,
+        /// Pool size.
+        pool: usize,
+    },
+    /// The pool (or an allocator region inside it) has no room left.
+    OutOfMemory {
+        /// The request that could not be satisfied, in bytes.
+        requested: usize,
+    },
+    /// A zero-sized or otherwise unservable request.
+    InvalidRequest(&'static str),
+    /// `free_from` was asked to free a root that holds no allocation.
+    NotAllocated,
+    /// Persistent state failed a consistency check during recovery.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for PmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmError::OutOfBounds { offset, len, pool } => write!(
+                f,
+                "access of {len} bytes at offset {offset:#x} exceeds pool of {pool} bytes"
+            ),
+            PmError::OutOfMemory { requested } => {
+                write!(f, "out of persistent memory serving a {requested}-byte request")
+            }
+            PmError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            PmError::NotAllocated => write!(f, "root slot holds no allocation"),
+            PmError::Corrupt(msg) => write!(f, "persistent state corrupt: {msg}"),
+        }
+    }
+}
+
+impl Error for PmError {}
+
+/// Result alias used across the workspace.
+pub type PmResult<T> = Result<T, PmError>;

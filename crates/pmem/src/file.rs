@@ -1,0 +1,183 @@
+//! Heap files: persisting a pool image to disk and re-mapping it.
+//!
+//! The paper's heaps live as files on a DAX filesystem (§2.1 "Heap files").
+//! This module provides the equivalent round-trip for the emulated pool:
+//! [`PmemPool::save_heap_file`] writes the *persistent* image (or the full
+//! volatile state for a clean shutdown) with a checksummed header, and
+//! [`PmemPool::open_heap_file`] maps it back into a new pool, preserving
+//! the configuration's latency/crash-tracking settings.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::pool::{PmemConfig, PmemPool};
+
+const FILE_MAGIC: u64 = 0x4E56_4845_4150_0001; // "NVHEAP"+v1
+
+fn checksum(words: &[u64]) -> u64 {
+    // FNV-1a over the word stream: cheap, deterministic, good enough to
+    // catch truncation and bit rot in a heap file.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        h ^= *w;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl PmemPool {
+    /// Write this pool's state to `path` as a heap file.
+    ///
+    /// With `flushed_only = true` (requires crash tracking) the file holds
+    /// exactly what an ADR platform would have preserved at this instant;
+    /// with `false` it holds the full volatile state (a clean shutdown).
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    ///
+    /// # Panics
+    /// Panics if `flushed_only` is requested without crash tracking.
+    pub fn save_heap_file(&self, path: &Path, flushed_only: bool) -> io::Result<()> {
+        let image =
+            if flushed_only { self.crash() } else { self.clean_shutdown_image() };
+        let words = image.words();
+        let mut f = File::create(path)?;
+        let mut header = Vec::with_capacity(4 * 8);
+        header.extend_from_slice(&FILE_MAGIC.to_le_bytes());
+        header.extend_from_slice(&(words.len() as u64 * 8).to_le_bytes());
+        header.extend_from_slice(&checksum(words).to_le_bytes());
+        header.extend_from_slice(&0u64.to_le_bytes());
+        f.write_all(&header)?;
+        // Word stream, little endian.
+        let mut buf = Vec::with_capacity(1 << 20);
+        for chunk in words.chunks(1 << 17) {
+            buf.clear();
+            for w in chunk {
+                buf.extend_from_slice(&w.to_le_bytes());
+            }
+            f.write_all(&buf)?;
+        }
+        f.sync_all()
+    }
+
+    /// Open a heap file written by [`PmemPool::save_heap_file`] as a new
+    /// pool. `config` supplies the runtime settings (latency mode, crash
+    /// tracking); its pool size is overridden by the file's.
+    ///
+    /// # Errors
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] on a corrupt file.
+    pub fn open_heap_file(path: &Path, config: PmemConfig) -> io::Result<Arc<PmemPool>> {
+        let mut f = File::open(path)?;
+        let mut header = [0u8; 32];
+        f.read_exact(&mut header)?;
+        let magic = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
+        if magic != FILE_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a heap file"));
+        }
+        let bytes = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
+        let want_sum = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+        let mut raw = vec![0u8; bytes];
+        f.read_exact(&mut raw)?;
+        let words: Vec<u64> = raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        if checksum(&words) != want_sum {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "heap file checksum mismatch"));
+        }
+        Ok(PmemPool::from_words(words, config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlushKind, LatencyMode};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nvalloc-heapfile-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn roundtrip_clean_image() {
+        let pool = PmemPool::new(
+            PmemConfig::default().pool_size(1 << 20).latency_mode(LatencyMode::Off),
+        );
+        pool.write_u64(4096, 0xFEED);
+        pool.write_u64((1 << 20) - 8, 7);
+        let path = tmp("clean");
+        pool.save_heap_file(&path, false).unwrap();
+        let re = PmemPool::open_heap_file(
+            &path,
+            PmemConfig::default().latency_mode(LatencyMode::Off),
+        )
+        .unwrap();
+        assert_eq!(re.size(), 1 << 20);
+        assert_eq!(re.read_u64(4096), 0xFEED);
+        assert_eq!(re.read_u64((1 << 20) - 8), 7);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn flushed_only_respects_crash_semantics() {
+        let pool = PmemPool::new(
+            PmemConfig::default()
+                .pool_size(1 << 16)
+                .latency_mode(LatencyMode::Off)
+                .crash_tracking(true),
+        );
+        let mut t = pool.register_thread();
+        pool.write_u64(0, 1);
+        pool.flush(&mut t, 0, 8, FlushKind::Data);
+        pool.write_u64(64, 2); // never flushed
+        let path = tmp("flushed");
+        pool.save_heap_file(&path, true).unwrap();
+        let re = PmemPool::open_heap_file(
+            &path,
+            PmemConfig::default().latency_mode(LatencyMode::Off),
+        )
+        .unwrap();
+        assert_eq!(re.read_u64(0), 1);
+        assert_eq!(re.read_u64(64), 0, "unflushed write must not reach the file");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupt_file_rejected() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, b"definitely not a heap file, far too short?").unwrap();
+        let err = PmemPool::open_heap_file(
+            &path,
+            PmemConfig::default().latency_mode(LatencyMode::Off),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bitflip_detected() {
+        let pool = PmemPool::new(
+            PmemConfig::default().pool_size(1 << 16).latency_mode(LatencyMode::Off),
+        );
+        pool.write_u64(128, 42);
+        let path = tmp("bitflip");
+        pool.save_heap_file(&path, false).unwrap();
+        // Flip one byte in the body.
+        let mut raw = std::fs::read(&path).unwrap();
+        let n = raw.len();
+        raw[n / 2] ^= 0x40;
+        std::fs::write(&path, raw).unwrap();
+        let err = PmemPool::open_heap_file(
+            &path,
+            PmemConfig::default().latency_mode(LatencyMode::Off),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+}

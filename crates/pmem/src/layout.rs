@@ -1,0 +1,55 @@
+//! Geometry constants of the emulated hardware.
+
+/// CPU cache line size in bytes. Flush granularity.
+pub const CACHE_LINE: usize = 64;
+
+/// Optane media access granularity ("XPLine") in bytes. The XPBuffer
+/// write-combining model works at this granularity.
+pub const XPLINE: usize = 256;
+
+/// Round `x` down to a cache-line boundary.
+#[inline]
+pub fn line_of(x: u64) -> u64 {
+    x & !(CACHE_LINE as u64 - 1)
+}
+
+/// Round `x` down to an XPLine boundary.
+#[inline]
+pub fn xpline_of(x: u64) -> u64 {
+    x & !(XPLINE as u64 - 1)
+}
+
+/// Round `x` up to a multiple of `align` (power of two).
+#[inline]
+pub fn align_up(x: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (x + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_rounding() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 64);
+        assert_eq!(line_of(130), 128);
+    }
+
+    #[test]
+    fn xpline_rounding() {
+        assert_eq!(xpline_of(255), 0);
+        assert_eq!(xpline_of(256), 256);
+        assert_eq!(xpline_of(1000), 768);
+    }
+
+    #[test]
+    fn align_up_works() {
+        assert_eq!(align_up(0, 8), 0);
+        assert_eq!(align_up(1, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(65, 64), 128);
+    }
+}

@@ -1,0 +1,369 @@
+//! Event counters and the flush-address trace.
+//!
+//! Everything the paper's motivation and evaluation sections *measure* about
+//! PM traffic is collected here: flush / reflush counts (Fig. 1a), the
+//! sequential-vs-random classification (§3.3), per-category flush time for
+//! the Fig. 11 breakdowns, and a bounded trace of flush addresses that
+//! regenerates the Fig. 2 scatter plots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// What kind of state a flush persists. Used to attribute flush time in the
+/// Fig. 11 execution-time breakdown and to separate *allocator-induced*
+/// traffic (everything except [`FlushKind::Data`]) from application traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlushKind {
+    /// Slab headers, bitmaps, extent headers — heap metadata proper.
+    Meta,
+    /// Write-ahead-log entries.
+    Wal,
+    /// Persistent bookkeeping-log entries (NVAlloc §5.3).
+    BookLog,
+    /// Application data (payload writes by the benchmark itself).
+    Data,
+}
+
+impl FlushKind {
+    /// All kinds, in a stable order (indexing into per-kind counters).
+    pub const ALL: [FlushKind; 4] =
+        [FlushKind::Meta, FlushKind::Wal, FlushKind::BookLog, FlushKind::Data];
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        match self {
+            FlushKind::Meta => 0,
+            FlushKind::Wal => 1,
+            FlushKind::BookLog => 2,
+            FlushKind::Data => 3,
+        }
+    }
+
+    /// Short label used by the benchmark reporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlushKind::Meta => "meta",
+            FlushKind::Wal => "wal",
+            FlushKind::BookLog => "booklog",
+            FlushKind::Data => "data",
+        }
+    }
+}
+
+/// One recorded flush, kept in the bounded trace for Fig. 2 reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushRecord {
+    /// Global flush sequence number at the time of the flush.
+    pub seq: u64,
+    /// Byte offset of the flushed line inside the pool.
+    pub addr: u64,
+    /// Attribution of the flush.
+    pub kind: FlushKind,
+}
+
+const KINDS: usize = 4;
+
+/// Atomic event counters for one [`crate::PmemPool`].
+///
+/// All counters are monotone; read a consistent-enough view with
+/// [`PmemStats::snapshot`] or reset between benchmark phases with
+/// [`PmemStats::reset`].
+#[derive(Debug)]
+pub struct PmemStats {
+    flushes: AtomicU64,
+    reflushes: AtomicU64,
+    fences: AtomicU64,
+    seq_writes: AtomicU64,
+    rand_writes: AtomicU64,
+    bytes_flushed: AtomicU64,
+    xpbuf_misses: AtomicU64,
+    kind_flushes: [AtomicU64; KINDS],
+    kind_reflushes: [AtomicU64; KINDS],
+    kind_ns: [AtomicU64; KINDS],
+    /// Bounded flush-address trace (first `capacity` flushes after a reset).
+    trace: Mutex<Vec<FlushRecord>>,
+    trace_capacity: usize,
+    trace_enabled: AtomicU64,
+}
+
+impl PmemStats {
+    pub(crate) fn new(trace_capacity: usize) -> Self {
+        PmemStats {
+            flushes: AtomicU64::new(0),
+            reflushes: AtomicU64::new(0),
+            fences: AtomicU64::new(0),
+            seq_writes: AtomicU64::new(0),
+            rand_writes: AtomicU64::new(0),
+            bytes_flushed: AtomicU64::new(0),
+            xpbuf_misses: AtomicU64::new(0),
+            kind_flushes: Default::default(),
+            kind_reflushes: Default::default(),
+            kind_ns: Default::default(),
+            trace: Mutex::new(Vec::new()),
+            trace_capacity,
+            trace_enabled: AtomicU64::new(0),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_flush(
+        &self,
+        seq: u64,
+        addr: u64,
+        kind: FlushKind,
+        is_reflush: bool,
+        is_sequential: bool,
+        xpbuf_miss: bool,
+        cost_ns: u64,
+        bytes: u64,
+    ) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        if is_reflush {
+            self.reflushes.fetch_add(1, Ordering::Relaxed);
+        }
+        if is_sequential {
+            self.seq_writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.rand_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        if xpbuf_miss {
+            self.xpbuf_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.bytes_flushed.fetch_add(bytes, Ordering::Relaxed);
+        self.kind_flushes[kind.index()].fetch_add(1, Ordering::Relaxed);
+        if is_reflush {
+            self.kind_reflushes[kind.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        self.kind_ns[kind.index()].fetch_add(cost_ns, Ordering::Relaxed);
+        if self.trace_enabled.load(Ordering::Relaxed) != 0 {
+            let mut trace = self.trace.lock();
+            if trace.len() < self.trace_capacity {
+                trace.push(FlushRecord { seq, addr, kind });
+            }
+        }
+    }
+
+    pub(crate) fn record_fence(&self) {
+        self.fences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of flush operations.
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Number of flushes classified as *reflushes* (same cache line flushed
+    /// again at reflush distance < 4 — §3.1 of the paper).
+    pub fn reflushes(&self) -> u64 {
+        self.reflushes.load(Ordering::Relaxed)
+    }
+
+    /// Number of fences.
+    pub fn fences(&self) -> u64 {
+        self.fences.load(Ordering::Relaxed)
+    }
+
+    /// Enable the flush-address trace (records the next
+    /// `trace_capacity` flushes).
+    pub fn enable_trace(&self) {
+        self.trace_enabled.store(1, Ordering::Relaxed);
+    }
+
+    /// Disable and clear the flush-address trace.
+    pub fn disable_trace(&self) {
+        self.trace_enabled.store(0, Ordering::Relaxed);
+        self.trace.lock().clear();
+    }
+
+    /// A copy of the recorded flush trace.
+    pub fn trace(&self) -> Vec<FlushRecord> {
+        self.trace.lock().clone()
+    }
+
+    /// Zero all counters and the trace. Virtual clocks of registered threads
+    /// are *not* affected.
+    pub fn reset(&self) {
+        self.flushes.store(0, Ordering::Relaxed);
+        self.reflushes.store(0, Ordering::Relaxed);
+        self.fences.store(0, Ordering::Relaxed);
+        self.seq_writes.store(0, Ordering::Relaxed);
+        self.rand_writes.store(0, Ordering::Relaxed);
+        self.bytes_flushed.store(0, Ordering::Relaxed);
+        self.xpbuf_misses.store(0, Ordering::Relaxed);
+        for c in &self.kind_flushes {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.kind_reflushes {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.kind_ns {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.trace.lock().clear();
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut kind_flushes = [0u64; KINDS];
+        let mut kind_reflushes = [0u64; KINDS];
+        let mut kind_ns = [0u64; KINDS];
+        for i in 0..KINDS {
+            kind_flushes[i] = self.kind_flushes[i].load(Ordering::Relaxed);
+            kind_reflushes[i] = self.kind_reflushes[i].load(Ordering::Relaxed);
+            kind_ns[i] = self.kind_ns[i].load(Ordering::Relaxed);
+        }
+        StatsSnapshot {
+            flushes: self.flushes.load(Ordering::Relaxed),
+            reflushes: self.reflushes.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            seq_writes: self.seq_writes.load(Ordering::Relaxed),
+            rand_writes: self.rand_writes.load(Ordering::Relaxed),
+            bytes_flushed: self.bytes_flushed.load(Ordering::Relaxed),
+            xpbuf_misses: self.xpbuf_misses.load(Ordering::Relaxed),
+            kind_flushes,
+            kind_reflushes,
+            kind_ns,
+        }
+    }
+}
+
+/// A point-in-time copy of [`PmemStats`], cheap to diff between phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total flush operations.
+    pub flushes: u64,
+    /// Flushes classified as reflushes (distance < 4).
+    pub reflushes: u64,
+    /// Fence operations.
+    pub fences: u64,
+    /// Flushes classified as sequential.
+    pub seq_writes: u64,
+    /// Flushes classified as random.
+    pub rand_writes: u64,
+    /// Total bytes flushed.
+    pub bytes_flushed: u64,
+    /// Flushes that missed the modelled XPBuffer.
+    pub xpbuf_misses: u64,
+    /// Flush counts indexed in [`FlushKind::ALL`] order.
+    pub kind_flushes: [u64; 4],
+    /// Reflush counts indexed in [`FlushKind::ALL`] order.
+    pub kind_reflushes: [u64; 4],
+    /// Modelled nanoseconds indexed in [`FlushKind::ALL`] order.
+    pub kind_ns: [u64; 4],
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference `self - earlier` (for phase measurements).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let mut kind_flushes = [0u64; KINDS];
+        let mut kind_reflushes = [0u64; KINDS];
+        let mut kind_ns = [0u64; KINDS];
+        for i in 0..KINDS {
+            kind_flushes[i] = self.kind_flushes[i] - earlier.kind_flushes[i];
+            kind_reflushes[i] = self.kind_reflushes[i] - earlier.kind_reflushes[i];
+            kind_ns[i] = self.kind_ns[i] - earlier.kind_ns[i];
+        }
+        StatsSnapshot {
+            flushes: self.flushes - earlier.flushes,
+            reflushes: self.reflushes - earlier.reflushes,
+            fences: self.fences - earlier.fences,
+            seq_writes: self.seq_writes - earlier.seq_writes,
+            rand_writes: self.rand_writes - earlier.rand_writes,
+            bytes_flushed: self.bytes_flushed - earlier.bytes_flushed,
+            xpbuf_misses: self.xpbuf_misses - earlier.xpbuf_misses,
+            kind_flushes,
+            kind_reflushes,
+            kind_ns,
+        }
+    }
+
+    /// Flush count for one attribution kind.
+    pub fn flushes_of(&self, kind: FlushKind) -> u64 {
+        self.kind_flushes[kind.index()]
+    }
+
+    /// Modelled flush nanoseconds for one attribution kind.
+    pub fn ns_of(&self, kind: FlushKind) -> u64 {
+        self.kind_ns[kind.index()]
+    }
+
+    /// Allocator-induced flushes: everything except [`FlushKind::Data`].
+    pub fn allocator_flushes(&self) -> u64 {
+        self.flushes - self.flushes_of(FlushKind::Data)
+    }
+
+    /// Reflush count for one attribution kind.
+    pub fn reflushes_of(&self, kind: FlushKind) -> u64 {
+        self.kind_reflushes[kind.index()]
+    }
+
+    /// Fraction of flushes that were reflushes, in percent.
+    pub fn reflush_pct(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            100.0 * self.reflushes as f64 / self.flushes as f64
+        }
+    }
+
+    /// Reflush share of *allocator-induced* flushes (Meta + WAL +
+    /// bookkeeping log; application `Data` traffic excluded) — the §3.1
+    /// metric of Fig. 1(a).
+    pub fn allocator_reflush_pct(&self) -> f64 {
+        let kinds = [FlushKind::Meta, FlushKind::Wal, FlushKind::BookLog];
+        let flushes: u64 = kinds.iter().map(|k| self.flushes_of(*k)).sum();
+        let reflushes: u64 = kinds.iter().map(|k| self.reflushes_of(*k)).sum();
+        if flushes == 0 {
+            0.0
+        } else {
+            100.0 * reflushes as f64 / flushes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff() {
+        let s = PmemStats::new(16);
+        s.record_flush(0, 0, FlushKind::Meta, false, true, false, 100, 64);
+        let a = s.snapshot();
+        s.record_flush(1, 64, FlushKind::Wal, true, false, true, 700, 64);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.flushes, 1);
+        assert_eq!(d.reflushes, 1);
+        assert_eq!(d.rand_writes, 1);
+        assert_eq!(d.xpbuf_misses, 1);
+        assert_eq!(d.flushes_of(FlushKind::Wal), 1);
+        assert_eq!(d.ns_of(FlushKind::Wal), 700);
+        assert_eq!(d.flushes_of(FlushKind::Meta), 0);
+    }
+
+    #[test]
+    fn trace_bounded_and_gated() {
+        let s = PmemStats::new(2);
+        // Disabled: nothing recorded.
+        s.record_flush(0, 0, FlushKind::Data, false, true, false, 0, 64);
+        assert!(s.trace().is_empty());
+        s.enable_trace();
+        for i in 0..5 {
+            s.record_flush(i, i * 64, FlushKind::Data, false, true, false, 0, 64);
+        }
+        assert_eq!(s.trace().len(), 2);
+        s.disable_trace();
+        assert!(s.trace().is_empty());
+    }
+
+    #[test]
+    fn reflush_pct() {
+        let s = PmemStats::new(0);
+        for i in 0..4 {
+            s.record_flush(i, 0, FlushKind::Meta, i % 2 == 0, true, false, 0, 64);
+        }
+        assert_eq!(s.snapshot().reflush_pct(), 50.0);
+    }
+}

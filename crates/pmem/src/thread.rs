@@ -1,0 +1,67 @@
+//! Per-thread handles onto the PM substrate.
+
+/// Per-thread PM state: the virtual clock and the last flushed address used
+/// for sequential/random classification.
+///
+/// Obtain one per worker thread via [`crate::PmemPool::register_thread`] and
+/// pass it (mutably) to every flush/fence call. Keeping this explicit instead
+/// of thread-local makes benchmarks deterministic and lets a harness collect
+/// all virtual clocks at the end of a run.
+#[derive(Debug)]
+pub struct PmThread {
+    id: usize,
+    virtual_ns: u64,
+    last_flush_addr: Option<u64>,
+}
+
+impl PmThread {
+    pub(crate) fn new(id: usize) -> Self {
+        PmThread { id, virtual_ns: 0, last_flush_addr: None }
+    }
+
+    /// Identifier assigned at registration (dense, starting at 0).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Modelled nanoseconds this thread has spent waiting on PM.
+    pub fn virtual_ns(&self) -> u64 {
+        self.virtual_ns
+    }
+
+    /// Reset the virtual clock (between benchmark phases).
+    pub fn reset_clock(&mut self) {
+        self.virtual_ns = 0;
+    }
+
+    #[inline]
+    pub(crate) fn accrue_ns(&mut self, ns: u64) {
+        self.virtual_ns += ns;
+    }
+
+    #[inline]
+    pub(crate) fn last_flush_addr(&self) -> Option<u64> {
+        self.last_flush_addr
+    }
+
+    #[inline]
+    pub(crate) fn set_last_flush_addr(&mut self, addr: u64) {
+        self.last_flush_addr = Some(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_accrues_and_resets() {
+        let mut t = PmThread::new(7);
+        assert_eq!(t.id(), 7);
+        t.accrue_ns(100);
+        t.accrue_ns(50);
+        assert_eq!(t.virtual_ns(), 150);
+        t.reset_clock();
+        assert_eq!(t.virtual_ns(), 0);
+    }
+}

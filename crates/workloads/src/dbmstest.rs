@@ -1,0 +1,112 @@
+//! DBMStest (Durner et al., DaMoN'19): TPC-DS-like database allocation —
+//! batches of large objects (32–512 KB, Poisson-ish sizes) with 90 %
+//! random deletion per iteration (§6.2).
+
+use std::sync::Arc;
+
+use nvalloc::api::PmAllocator;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::harness::{run_threads, BenchMeasurement};
+
+/// DBMStest parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Worker threads.
+    pub threads: usize,
+    /// Objects per iteration per thread (paper: 10⁴/t).
+    pub objects: usize,
+    /// Warmup iterations (paper: 50).
+    pub warmup: usize,
+    /// Measured iterations (paper: 50).
+    pub iterations: usize,
+    /// Fraction deleted per iteration (paper: 0.9).
+    pub delete_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Laptop-scale defaults.
+    pub fn quick(threads: usize) -> Params {
+        Params { threads, objects: 24, warmup: 2, iterations: 4, delete_ratio: 0.9, seed: 0xDB }
+    }
+}
+
+/// Poisson-flavoured size in 32–512 KB: the sum of a few uniform draws
+/// clusters around the mid-range like the paper's Poisson setting.
+fn poisson_size(rng: &mut SmallRng) -> usize {
+    let lo = 32 << 10;
+    let hi = 512 << 10;
+    let mid: usize = (0..4).map(|_| rng.gen_range(lo / 4..=hi / 4)).sum();
+    mid.clamp(lo, hi)
+}
+
+/// Run DBMStest; `ops` counts allocations + frees in the measured phase.
+pub fn run(alloc: &Arc<dyn PmAllocator>, p: Params) -> BenchMeasurement {
+    let per_thread = alloc.root_count() / crate::harness::ROOT_SPREAD / p.threads.max(1);
+    run_threads(alloc, p.threads, |k, t| {
+        let base = k * per_thread;
+        let mut rng = SmallRng::seed_from_u64(p.seed ^ (k as u64) << 32);
+        let mut live: Vec<usize> = Vec::new();
+        // Free-slot stack: a slot is reused only after its object is freed.
+        let mut free_slots: Vec<usize> = (0..per_thread).rev().map(|i| base + i).collect();
+        let mut ops = 0u64;
+        for iter in 0..p.warmup + p.iterations {
+            let measured = iter >= p.warmup;
+            for _ in 0..p.objects {
+                let slot = free_slots.pop().expect("enough root slots per thread");
+                let size = poisson_size(&mut rng);
+                t.malloc_to(size, crate::harness::spread_root(&**alloc, slot)).expect("alloc");
+                live.push(slot);
+                if measured {
+                    ops += 1;
+                }
+            }
+            live.shuffle(&mut rng);
+            let del = (live.len() as f64 * p.delete_ratio) as usize;
+            for slot in live.drain(..del) {
+                t.free_from(crate::harness::spread_root(&**alloc, slot)).expect("free");
+                free_slots.push(slot);
+                if measured {
+                    ops += 1;
+                }
+            }
+        }
+        for slot in live {
+            t.free_from(crate::harness::spread_root(&**alloc, slot)).expect("free");
+        }
+        ops
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocators::Which;
+    use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+
+    #[test]
+    fn large_object_churn() {
+        let pool = PmemPool::new(
+            PmemConfig::default().pool_size(256 << 20).latency_mode(LatencyMode::Virtual),
+        );
+        let a = Which::NvallocLog.create(pool);
+        let m = run(&a, Params::quick(2));
+        assert!(m.ops > 0);
+        assert_eq!(a.live_bytes(), 0);
+        // All traffic is large: no small-class slabs appear.
+        assert!(m.stats.flushes > 0);
+    }
+
+    #[test]
+    fn poisson_sizes_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let s = poisson_size(&mut rng);
+            assert!((32 << 10..=512 << 10).contains(&s));
+        }
+    }
+}

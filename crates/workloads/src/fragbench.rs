@@ -1,0 +1,235 @@
+//! Fragbench (Rumble et al., FAST'14 §2, as used by the paper): three
+//! phases — *Before* (allocate `total` bytes from a size distribution,
+//! randomly deleting to cap live data), *Delete* (drop a fraction), and
+//! *After* (same as Before with a second distribution). Table 1 defines
+//! workloads W1–W4; peak memory vs. live data measures segregation-induced
+//! fragmentation (Figs. 1b / 15).
+
+use std::sync::Arc;
+
+use nvalloc::api::{AllocThread, PmAllocator};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::harness::BenchMeasurement;
+
+/// An object-size distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeDist {
+    /// Every object has the same size.
+    Fixed(usize),
+    /// Uniform in `[lo, hi]`.
+    Uniform(usize, usize),
+}
+
+impl SizeDist {
+    fn sample(self, rng: &mut SmallRng) -> usize {
+        match self {
+            SizeDist::Fixed(s) => s,
+            SizeDist::Uniform(lo, hi) => rng.gen_range(lo..=hi),
+        }
+    }
+}
+
+/// One Fragbench workload definition (a row of Table 1).
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Display name ("W1"…).
+    pub name: &'static str,
+    /// Size distribution of the Before phase.
+    pub before: SizeDist,
+    /// Fraction deleted in the Delete phase.
+    pub delete_ratio: f64,
+    /// Size distribution of the After phase.
+    pub after: SizeDist,
+}
+
+/// Table 1: the four workloads the paper evaluates.
+pub const TABLE1: [Workload; 4] = [
+    Workload {
+        name: "W1",
+        before: SizeDist::Fixed(100),
+        delete_ratio: 0.9,
+        after: SizeDist::Fixed(130),
+    },
+    Workload {
+        name: "W2",
+        before: SizeDist::Uniform(100, 150),
+        delete_ratio: 0.0,
+        after: SizeDist::Uniform(200, 250),
+    },
+    Workload {
+        name: "W3",
+        before: SizeDist::Uniform(100, 150),
+        delete_ratio: 0.9,
+        after: SizeDist::Uniform(200, 250),
+    },
+    Workload {
+        name: "W4",
+        before: SizeDist::Uniform(100, 200),
+        delete_ratio: 0.5,
+        after: SizeDist::Uniform(1000, 2000),
+    },
+];
+
+/// Fragbench scale parameters (the paper allocates 5 GB keeping ≤ 1 GB
+/// live; defaults scale both down by 32×).
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Total bytes allocated per phase.
+    pub total_bytes: usize,
+    /// Live-data cap.
+    pub live_cap: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Laptop-scale defaults (160 MB churned, 32 MB live).
+    pub fn quick() -> Params {
+        Params { total_bytes: 160 << 20, live_cap: 32 << 20, seed: 0xF6 }
+    }
+
+    /// Tiny scale for unit tests.
+    pub fn tiny() -> Params {
+        Params { total_bytes: 4 << 20, live_cap: 1 << 20, seed: 0xF6 }
+    }
+}
+
+/// Fragbench outcome.
+#[derive(Debug, Clone)]
+pub struct FragResult {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Allocator name.
+    pub allocator: String,
+    /// Peak mapped heap bytes across the run.
+    pub peak_mapped: usize,
+    /// Live bytes at the end (≤ live cap).
+    pub final_live: usize,
+    /// Operation count and timing of the measured run.
+    pub measurement: BenchMeasurement,
+}
+
+impl FragResult {
+    /// Peak memory divided by the live-data cap — the fragmentation factor
+    /// of Fig. 1b.
+    pub fn overhead_factor(&self, live_cap: usize) -> f64 {
+        self.peak_mapped as f64 / live_cap as f64
+    }
+}
+
+/// Run one Fragbench workload single-threaded (as in the paper's Fig. 1b).
+pub fn run(alloc: &Arc<dyn PmAllocator>, w: Workload, p: Params) -> FragResult {
+    alloc.pool().stats().reset();
+    let mut t = alloc.thread();
+    t.pm_mut().reset_clock();
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let roots = alloc.root_count();
+    let mut live: Vec<(usize, usize)> = Vec::new(); // (slot, size)
+    let mut live_bytes = 0usize;
+    let mut free_slots: Vec<usize> = (0..roots).rev().collect();
+    let mut ops = 0u64;
+
+    let phase = |t: &mut Box<dyn AllocThread>,
+                     rng: &mut SmallRng,
+                     live: &mut Vec<(usize, usize)>,
+                     live_bytes: &mut usize,
+                     free_slots: &mut Vec<usize>,
+                     dist: SizeDist,
+                     ops: &mut u64| {
+        let mut allocated = 0usize;
+        while allocated < p.total_bytes {
+            let size = dist.sample(rng);
+            // Keep live data under the cap by deleting random objects.
+            while *live_bytes + size > p.live_cap {
+                let i = rng.gen_range(0..live.len());
+                let (slot, sz) = live.swap_remove(i);
+                t.free_from(alloc.root_offset(slot)).expect("free");
+                *live_bytes -= sz;
+                free_slots.push(slot);
+                *ops += 1;
+            }
+            let slot = free_slots.pop().expect("enough root slots");
+            t.malloc_to(size, alloc.root_offset(slot)).expect("alloc");
+            live.push((slot, size));
+            *live_bytes += size;
+            allocated += size;
+            *ops += 1;
+        }
+    };
+
+    // Before.
+    phase(&mut t, &mut rng, &mut live, &mut live_bytes, &mut free_slots, w.before, &mut ops);
+    // Delete.
+    let del = (live.len() as f64 * w.delete_ratio) as usize;
+    for _ in 0..del {
+        let i = rng.gen_range(0..live.len());
+        let (slot, sz) = live.swap_remove(i);
+        t.free_from(alloc.root_offset(slot)).expect("free");
+        live_bytes -= sz;
+        free_slots.push(slot);
+        ops += 1;
+    }
+    // After.
+    phase(&mut t, &mut rng, &mut live, &mut live_bytes, &mut free_slots, w.after, &mut ops);
+
+    let elapsed_ns = t.pm().virtual_ns() + ops * crate::harness::CPU_NS_PER_OP;
+    FragResult {
+        workload: w.name,
+        allocator: alloc.name(),
+        peak_mapped: alloc.peak_mapped_bytes(),
+        final_live: live_bytes,
+        measurement: BenchMeasurement {
+            allocator: alloc.name(),
+            threads: 1,
+            ops,
+            elapsed_ns,
+            stats: alloc.pool().stats().snapshot(),
+            peak_mapped: alloc.peak_mapped_bytes(),
+            mapped: alloc.heap_mapped_bytes(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocators::Which;
+    use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+
+    fn run_tiny(which: Which, w: Workload) -> FragResult {
+        let pool = PmemPool::new(
+            PmemConfig::default().pool_size(64 << 20).latency_mode(LatencyMode::Off),
+        );
+        let a = which.create_with_roots(pool, 1 << 17);
+        run(&a, w, Params::tiny())
+    }
+
+    #[test]
+    fn live_cap_respected() {
+        let r = run_tiny(Which::NvallocLog, TABLE1[0]);
+        assert!(r.final_live <= Params::tiny().live_cap);
+        assert!(r.measurement.ops > 0);
+        assert!(r.peak_mapped > 0);
+    }
+
+    #[test]
+    fn w1_fragmenting_baseline_uses_more_than_nvalloc() {
+        let b = run_tiny(Which::Pmdk, TABLE1[0]);
+        let n = run_tiny(Which::NvallocLog, TABLE1[0]);
+        assert!(
+            n.peak_mapped <= b.peak_mapped,
+            "NVAlloc ({}) should not exceed PMDK ({})",
+            n.peak_mapped,
+            b.peak_mapped
+        );
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        assert_eq!(TABLE1[0].before, SizeDist::Fixed(100));
+        assert_eq!(TABLE1[1].delete_ratio, 0.0);
+        assert_eq!(TABLE1[3].after, SizeDist::Uniform(1000, 2000));
+    }
+}

@@ -1,0 +1,109 @@
+//! Larson (Larson & Krishnan, ISMM'98): random slot churn where objects
+//! allocated by one thread are freed by another (§6.2). Two flavours:
+//! Larson-small (64–256 B) and Larson-large (32–512 KB).
+
+use std::sync::Arc;
+
+use nvalloc::api::PmAllocator;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::harness::{run_threads, BenchMeasurement};
+
+/// Larson parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Worker threads.
+    pub threads: usize,
+    /// Churn rounds (each round touches every slot once).
+    pub rounds: usize,
+    /// Slots per thread.
+    pub slots: usize,
+    /// Size range (inclusive).
+    pub size_range: (usize, usize),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Larson-small at laptop scale (paper: 64–256 B).
+    pub fn small(threads: usize) -> Params {
+        Params { threads, rounds: 12, slots: 256, size_range: (64, 256), seed: 0x1A }
+    }
+
+    /// Larson-large at laptop scale (paper: 32–512 KB).
+    pub fn large(threads: usize) -> Params {
+        Params { threads, rounds: 4, slots: 24, size_range: (32 << 10, 512 << 10), seed: 0x1B }
+    }
+}
+
+/// Run Larson. Thread *k* frees what thread *k−1* allocated in the previous
+/// round (the paper's thread-handoff behaviour); `ops` counts allocations +
+/// frees.
+pub fn run(alloc: &Arc<dyn PmAllocator>, p: Params) -> BenchMeasurement {
+    let per_thread = alloc.root_count() / crate::harness::ROOT_SPREAD / p.threads.max(1);
+    assert!(p.slots <= per_thread);
+    let barrier = Arc::new(std::sync::Barrier::new(p.threads));
+    run_threads(alloc, p.threads, |k, t| {
+        let mut rng = SmallRng::seed_from_u64(p.seed ^ (k as u64) << 32);
+        let mut ops = 0u64;
+        for round in 0..p.rounds {
+            // Free the slots the *previous* thread filled last round, then
+            // (after every free landed) refill our own. The two barriers
+            // keep free and alloc phases from racing on the same slot.
+            if round > 0 {
+                let prev = (k + p.threads - 1) % p.threads;
+                let base = prev * per_thread;
+                for i in 0..p.slots {
+                    t.free_from(crate::harness::spread_root(&**alloc, base + i)).expect("free");
+                    ops += 1;
+                }
+            }
+            barrier.wait();
+            let base = k * per_thread;
+            for i in 0..p.slots {
+                let size = rng.gen_range(p.size_range.0..=p.size_range.1);
+                t.malloc_to(size, crate::harness::spread_root(&**alloc, base + i))
+                    .expect("alloc");
+                ops += 1;
+            }
+            barrier.wait();
+        }
+        // Drain own slots.
+        let base = k * per_thread;
+        for i in 0..p.slots {
+            t.free_from(crate::harness::spread_root(&**alloc, base + i)).expect("free");
+            ops += 1;
+        }
+        ops
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocators::Which;
+    use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+
+    #[test]
+    fn small_flavour_cross_thread() {
+        let pool = PmemPool::new(
+            PmemConfig::default().pool_size(128 << 20).latency_mode(LatencyMode::Virtual),
+        );
+        let a = Which::NvallocLog.create(pool);
+        let m = run(&a, Params { threads: 3, rounds: 4, slots: 40, size_range: (64, 256), seed: 2 });
+        assert!(m.ops > 0);
+        assert_eq!(a.live_bytes(), 0);
+    }
+
+    #[test]
+    fn large_flavour_hits_extent_path() {
+        let pool = PmemPool::new(
+            PmemConfig::default().pool_size(256 << 20).latency_mode(LatencyMode::Virtual),
+        );
+        let a = Which::NvallocLog.create(pool);
+        let m = run(&a, Params { threads: 2, rounds: 2, slots: 8, size_range: (32 << 10, 128 << 10), seed: 3 });
+        assert!(m.ops > 0);
+        assert_eq!(a.live_bytes(), 0);
+    }
+}

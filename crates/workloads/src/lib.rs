@@ -1,0 +1,135 @@
+//! Benchmark workload generators and the multi-threaded harness.
+//!
+//! One module per benchmark of the paper's evaluation (§6.2/§6.4):
+//! [`threadtest`], [`prodcon`], [`shbench`], [`larson`], [`dbmstest`],
+//! [`fragbench`], plus the [`linkedlist`] workload used for the recovery
+//! measurement (Fig. 18). All generators are deterministic (seeded
+//! [`rand::rngs::SmallRng`]) and generic over any
+//! [`nvalloc::api::PmAllocator`].
+//!
+//! The [`harness`] runs a per-thread closure on `t` worker threads and
+//! reports *modelled time*: each thread's wall-clock time plus the
+//! nanoseconds its PM operations accrued on the virtual clock (see
+//! `nvalloc-pmem`). Throughput is `total_ops / max_thread_time`.
+
+#![warn(missing_docs)]
+
+pub mod dbmstest;
+pub mod fragbench;
+pub mod harness;
+pub mod larson;
+pub mod linkedlist;
+pub mod prodcon;
+pub mod shbench;
+pub mod threadtest;
+
+pub use harness::{run_threads, BenchMeasurement, Reporter};
+
+/// Factory for every allocator the benchmarks compare, so bench binaries
+/// can iterate uniformly.
+pub mod allocators {
+    use std::sync::Arc;
+
+    use nvalloc::api::PmAllocator;
+    use nvalloc::{NvAllocator, NvConfig};
+    use nvalloc_baselines::{Baseline, BaselineKind};
+    use nvalloc_pmem::PmemPool;
+
+    /// Every comparable allocator, by display name.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Which {
+        /// PMDK-like baseline.
+        Pmdk,
+        /// nvm_malloc-like baseline.
+        NvmMalloc,
+        /// PAllocator-like baseline.
+        Pallocator,
+        /// Makalu-like baseline.
+        Makalu,
+        /// Ralloc-like baseline.
+        Ralloc,
+        /// NVAlloc-LOG.
+        NvallocLog,
+        /// NVAlloc-GC.
+        NvallocGc,
+        /// NVAlloc-LOG with a custom config (ablation studies).
+        NvallocCustom(&'static str),
+    }
+
+    impl Which {
+        /// The strongly consistent comparison set (Figs. 9/20).
+        pub const STRONG: [Which; 4] =
+            [Which::Pmdk, Which::NvmMalloc, Which::Pallocator, Which::NvallocLog];
+
+        /// The weakly consistent comparison set (Fig. 10).
+        pub const WEAK: [Which; 3] = [Which::Makalu, Which::Ralloc, Which::NvallocGc];
+
+        /// The large-allocation set (Fig. 12).
+        pub const LARGE: [Which; 5] = [
+            Which::Pmdk,
+            Which::NvmMalloc,
+            Which::Pallocator,
+            Which::Makalu,
+            Which::NvallocLog,
+        ];
+
+        /// Instantiate over `pool`.
+        ///
+        /// # Panics
+        /// Panics if the pool is too small for the allocator's metadata.
+        pub fn create(self, pool: Arc<PmemPool>) -> Arc<dyn PmAllocator> {
+            self.create_with_roots(pool, 1 << 16)
+        }
+
+        /// Instantiate with a custom root-slot count.
+        ///
+        /// # Panics
+        /// Panics if the pool is too small for the allocator's metadata.
+        pub fn create_with_roots(self, pool: Arc<PmemPool>, roots: usize) -> Arc<dyn PmAllocator> {
+            match self {
+                Which::Pmdk => baseline(pool, BaselineKind::Pmdk, roots),
+                Which::NvmMalloc => baseline(pool, BaselineKind::NvmMalloc, roots),
+                Which::Pallocator => baseline(pool, BaselineKind::Pallocator, roots),
+                Which::Makalu => baseline(pool, BaselineKind::Makalu, roots),
+                Which::Ralloc => baseline(pool, BaselineKind::Ralloc, roots),
+                Which::NvallocLog => {
+                    Arc::new(NvAllocator::create(pool, NvConfig::log().roots(roots)).expect("create"))
+                }
+                Which::NvallocGc => {
+                    Arc::new(NvAllocator::create(pool, NvConfig::gc().roots(roots)).expect("create"))
+                }
+                Which::NvallocCustom(_) => panic!("use create_custom for ablation configs"),
+            }
+        }
+
+        /// Display name matching the paper's figures.
+        pub fn name(self) -> &'static str {
+            match self {
+                Which::Pmdk => "PMDK",
+                Which::NvmMalloc => "nvm_malloc",
+                Which::Pallocator => "PAllocator",
+                Which::Makalu => "Makalu",
+                Which::Ralloc => "Ralloc",
+                Which::NvallocLog => "NVAlloc-LOG",
+                Which::NvallocGc => "NVAlloc-GC",
+                Which::NvallocCustom(n) => n,
+            }
+        }
+    }
+
+    fn baseline(pool: Arc<PmemPool>, kind: BaselineKind, roots: usize) -> Arc<dyn PmAllocator> {
+        Arc::new(Baseline::create_with_roots(pool, kind, roots).expect("create baseline"))
+    }
+
+    /// Instantiate an NVAlloc ablation config under a display name.
+    ///
+    /// # Panics
+    /// Panics if the pool is too small.
+    pub fn create_custom(
+        pool: Arc<PmemPool>,
+        cfg: NvConfig,
+        roots: usize,
+    ) -> Arc<dyn PmAllocator> {
+        Arc::new(NvAllocator::create(pool, cfg.roots(roots)).expect("create"))
+    }
+}

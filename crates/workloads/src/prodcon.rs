@@ -1,0 +1,103 @@
+//! Prod-con (Hoard/Schneider et al.): producer/consumer thread pairs — one
+//! allocates, its partner frees (§6.2). Exercises cross-thread frees.
+
+use std::sync::Arc;
+
+use nvalloc::api::PmAllocator;
+
+use crate::harness::{run_threads, BenchMeasurement};
+
+/// Prod-con parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Worker threads (rounded up to an even count; half produce, half
+    /// consume).
+    pub threads: usize,
+    /// Objects exchanged per pair (paper: 2×10⁷/t).
+    pub objects: usize,
+    /// Object size (paper: 64 B).
+    pub size: usize,
+    /// Producer batch size per channel message.
+    pub batch: usize,
+}
+
+impl Params {
+    /// Laptop-scale defaults.
+    pub fn quick(threads: usize) -> Params {
+        Params { threads, objects: 4000, size: 64, batch: 32 }
+    }
+}
+
+/// Run prod-con; `ops` counts allocations + frees.
+pub fn run(alloc: &Arc<dyn PmAllocator>, p: Params) -> BenchMeasurement {
+    let pairs = (p.threads / 2).max(1);
+    let threads = pairs * 2;
+    let per_pair = alloc.root_count() / crate::harness::ROOT_SPREAD / pairs;
+    // Per-pair bounded channels carrying batches of root-slot indices. The
+    // capacity bounds the in-flight objects so the producer can never lap
+    // the consumer around the slot ring.
+    let max_batches = (per_pair / p.batch).saturating_sub(3).clamp(1, 64);
+    let channels: Vec<_> = (0..pairs)
+        .map(|_| crossbeam::channel::bounded::<Vec<usize>>(max_batches))
+        .collect();
+    let channels = Arc::new(channels);
+
+    run_threads(alloc, threads, move |k, t| {
+        let pair = k / 2;
+        let base = pair * per_pair;
+        let mut ops = 0u64;
+        if k % 2 == 0 {
+            // Producer.
+            let tx = channels[pair].0.clone();
+            let mut next = 0usize;
+            let mut batch = Vec::with_capacity(p.batch);
+            for _ in 0..p.objects {
+                let slot = base + next;
+                next = (next + 1) % per_pair;
+                t.malloc_to(p.size, crate::harness::spread_root(&**alloc, slot))
+                    .expect("alloc");
+                ops += 1;
+                batch.push(slot);
+                if batch.len() == p.batch {
+                    tx.send(std::mem::take(&mut batch)).expect("consumer alive");
+                }
+            }
+            if !batch.is_empty() {
+                tx.send(batch).expect("consumer alive");
+            }
+            drop(tx);
+        } else {
+            // Consumer: the producer keeps a clone of the sender, so rely
+            // on the object count.
+            let rx = channels[pair].1.clone();
+            let mut freed = 0usize;
+            while freed < p.objects {
+                let batch = rx.recv().expect("producer sends all objects");
+                for slot in batch {
+                    t.free_from(crate::harness::spread_root(&**alloc, slot)).expect("free");
+                    freed += 1;
+                    ops += 1;
+                }
+            }
+        }
+        ops
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocators::Which;
+    use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+
+    #[test]
+    fn pairs_exchange_everything() {
+        let pool = PmemPool::new(
+            PmemConfig::default().pool_size(64 << 20).latency_mode(LatencyMode::Virtual),
+        );
+        let a = Which::NvallocGc.create(pool);
+        let m = run(&a, Params { threads: 4, objects: 500, size: 64, batch: 16 });
+        assert_eq!(m.ops, 2 * 2 * 500);
+        assert_eq!(a.live_bytes(), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Shbench (MicroQuill): stress test with varying sizes 64–1000 B where
+//! smaller objects are allocated and freed more frequently (§6.2).
+
+use std::sync::Arc;
+
+use nvalloc::api::PmAllocator;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::harness::{run_threads, BenchMeasurement};
+
+/// Shbench parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Worker threads.
+    pub threads: usize,
+    /// Iterations per thread (paper: 10⁵, scaled down by default).
+    pub iterations: usize,
+    /// Live objects kept per thread.
+    pub live_window: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Laptop-scale defaults.
+    pub fn quick(threads: usize) -> Params {
+        Params { threads, iterations: 8000, live_window: 64, seed: 0x5B }
+    }
+}
+
+/// Size in 64–1000 B, skewed small (squaring a uniform variate).
+fn skewed_size(rng: &mut SmallRng) -> usize {
+    let u: f64 = rng.gen();
+    64 + (u * u * 936.0) as usize
+}
+
+/// Run shbench; `ops` counts allocations + frees.
+pub fn run(alloc: &Arc<dyn PmAllocator>, p: Params) -> BenchMeasurement {
+    let per_thread = alloc.root_count() / crate::harness::ROOT_SPREAD / p.threads.max(1);
+    assert!(p.live_window < per_thread);
+    run_threads(alloc, p.threads, |k, t| {
+        let base = k * per_thread;
+        let mut rng = SmallRng::seed_from_u64(p.seed ^ (k as u64) << 32);
+        let mut ops = 0u64;
+        let mut next = 0usize;
+        let mut live = std::collections::VecDeque::new();
+        for _ in 0..p.iterations {
+            let slot = base + next;
+            next = (next + 1) % per_thread;
+            let size = skewed_size(&mut rng);
+            t.malloc_to(size, crate::harness::spread_root(&**alloc, slot)).expect("alloc");
+            live.push_back(slot);
+            ops += 1;
+            if live.len() > p.live_window {
+                let victim = live.pop_front().expect("nonempty");
+                t.free_from(crate::harness::spread_root(&**alloc, victim)).expect("free");
+                ops += 1;
+            }
+        }
+        for slot in live {
+            t.free_from(crate::harness::spread_root(&**alloc, slot)).expect("free");
+            ops += 1;
+        }
+        ops
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocators::Which;
+    use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+
+    #[test]
+    fn deterministic_and_leak_free() {
+        let pool = PmemPool::new(
+            PmemConfig::default().pool_size(64 << 20).latency_mode(LatencyMode::Virtual),
+        );
+        let a = Which::Pmdk.create(pool);
+        let m = run(&a, Params { threads: 2, iterations: 500, live_window: 16, seed: 1 });
+        assert_eq!(m.ops, 2 * 2 * 500);
+        assert_eq!(a.live_bytes(), 0);
+    }
+
+    #[test]
+    fn sizes_skew_small() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let sizes: Vec<usize> = (0..10_000).map(|_| skewed_size(&mut rng)).collect();
+        assert!(sizes.iter().all(|&s| (64..=1000).contains(&s)));
+        let small = sizes.iter().filter(|&&s| s < 300).count();
+        assert!(small > 5000, "small objects must dominate ({small})");
+    }
+}

@@ -1,0 +1,72 @@
+//! Threadtest (Berger et al., Hoard): per-thread batches of fixed-size
+//! allocations, then frees — the most reflush-prone pattern (§6.2).
+
+use std::sync::Arc;
+
+use nvalloc::api::PmAllocator;
+
+use crate::harness::{run_threads, BenchMeasurement};
+
+/// Threadtest parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Worker threads.
+    pub threads: usize,
+    /// Iterations per thread (paper: 10⁴, scaled down by default).
+    pub iterations: usize,
+    /// Objects allocated per iteration (paper: 10⁵ split over threads).
+    pub objects: usize,
+    /// Object size in bytes (paper: 64 B).
+    pub size: usize,
+}
+
+impl Params {
+    /// A laptop-scale default preserving the paper's shape.
+    pub fn quick(threads: usize) -> Params {
+        Params { threads, iterations: 20, objects: 400, size: 64 }
+    }
+}
+
+/// Run threadtest; `ops` counts allocations + frees.
+pub fn run(alloc: &Arc<dyn PmAllocator>, p: Params) -> BenchMeasurement {
+    let per_thread = alloc.root_count() / crate::harness::ROOT_SPREAD / p.threads.max(1);
+    assert!(
+        p.objects <= per_thread,
+        "objects per iteration ({}) must fit the per-thread root range ({per_thread})",
+        p.objects
+    );
+    run_threads(alloc, p.threads, |k, t| {
+        let base = k * per_thread;
+        let mut ops = 0u64;
+        for _ in 0..p.iterations {
+            for i in 0..p.objects {
+                t.malloc_to(p.size, crate::harness::spread_root(&**alloc, base + i))
+                    .expect("alloc");
+            }
+            for i in 0..p.objects {
+                t.free_from(crate::harness::spread_root(&**alloc, base + i)).expect("free");
+            }
+            ops += 2 * p.objects as u64;
+        }
+        ops
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocators::Which;
+    use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+
+    #[test]
+    fn runs_and_balances() {
+        let pool = PmemPool::new(
+            PmemConfig::default().pool_size(64 << 20).latency_mode(LatencyMode::Virtual),
+        );
+        let a = Which::NvallocLog.create(pool);
+        let p = Params { threads: 2, iterations: 3, objects: 50, size: 64 };
+        let m = run(&a, p);
+        assert_eq!(m.ops, 2 * 3 * 50 * 2);
+        assert_eq!(a.live_bytes(), 0, "threadtest frees everything");
+    }
+}

@@ -1,0 +1,91 @@
+//! Crash-recovery demo: build a persistent linked list, kill the power at
+//! a random moment, recover, and verify that (a) the prefix reachable from
+//! the root survived intact and (b) no memory leaked — for both
+//! consistency variants.
+//!
+//! Run with: `cargo run --example crash_recovery`
+
+use std::sync::Arc;
+
+use nvalloc::api::PmAllocator;
+use nvalloc::{NvAllocator, NvConfig, Variant};
+use nvalloc_pmem::{FlushKind, LatencyMode, PmemConfig, PmemPool};
+
+fn run(variant: Variant) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = match variant {
+        Variant::Log => NvConfig::log(),
+        Variant::Gc => NvConfig::gc(),
+        Variant::Internal => NvConfig::internal(),
+    };
+    println!("== {} ==", cfg.tag());
+    let pool = PmemPool::new(
+        PmemConfig::default()
+            .pool_size(64 << 20)
+            .latency_mode(LatencyMode::Off)
+            .crash_tracking(true),
+    );
+    let alloc = NvAllocator::create(Arc::clone(&pool), cfg.clone())?;
+    let mut t = alloc.thread();
+
+    // Build a list of 5 000 nodes: node k+1 is allocated directly into
+    // node k's next-pointer, so the attach is atomic.
+    let n = 5_000usize;
+    let mut dest = alloc.root_offset(0);
+    for i in 0..n {
+        let node = t.malloc_to(64, dest)?;
+        pool.write_u64(node, 0); // next
+        pool.write_u64(node + 8, i as u64); // payload
+        pool.charge_store(t.pm_mut(), node, 16);
+        pool.flush(t.pm_mut(), node, 16, FlushKind::Data);
+        pool.flush(t.pm_mut(), dest, 8, FlushKind::Data);
+        pool.fence(t.pm_mut());
+        dest = node;
+    }
+    println!("built a {n}-node persistent list; pulling the plug …");
+
+    // Power failure.
+    let rebooted = PmemPool::from_crash_image(pool.crash());
+    let (alloc2, report) = NvAllocator::recover(Arc::clone(&rebooted), cfg)?;
+    println!(
+        "recovered: normal_shutdown={}, slabs={}, wal_replayed={}, gc_live={}, leaks_fixed={}",
+        report.normal_shutdown,
+        report.slabs,
+        report.wal_replayed,
+        report.gc_live_blocks,
+        report.leaks_fixed
+    );
+
+    // Walk the list: every reachable node must be intact.
+    let mut node = rebooted.read_u64(alloc2.root_offset(0));
+    let mut count = 0usize;
+    while node != 0 {
+        assert_eq!(rebooted.read_u64(node + 8), count as u64, "payload corrupt");
+        node = rebooted.read_u64(node);
+        count += 1;
+    }
+    println!("walked {count}/{n} nodes intact after recovery");
+    assert_eq!(count, n, "every committed node survived");
+
+    // Free the whole list through the recovered allocator: no leaks.
+    let mut t2 = alloc2.thread();
+    let dest = alloc2.root_offset(0);
+    while rebooted.read_u64(dest) != 0 {
+        let node = rebooted.read_u64(dest);
+        let next = rebooted.read_u64(node);
+        t2.free_from(dest)?;
+        // free_from cleared dest; relink to continue walking.
+        if next != 0 {
+            rebooted.write_u64(dest, next);
+        }
+    }
+    println!("freed everything; live bytes = {}\n", alloc2.live_bytes());
+    assert_eq!(alloc2.live_bytes(), 0);
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run(Variant::Log)?;
+    run(Variant::Gc)?;
+    run(Variant::Internal)?;
+    Ok(())
+}

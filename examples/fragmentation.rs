@@ -1,0 +1,70 @@
+//! Fragmentation demo: the paper's motivating W1 workload (Table 1) run
+//! against static slab segregation (PMDK-like) and NVAlloc with slab
+//! morphing, printing the peak-memory difference and NVAlloc's
+//! slab-occupancy histogram.
+//!
+//! Run with: `cargo run --release --example fragmentation`
+
+use std::sync::Arc;
+
+use nvalloc::api::PmAllocator;
+use nvalloc::{NvAllocator, NvConfig};
+use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+use nvalloc_workloads::allocators::Which;
+use nvalloc_workloads::fragbench::{self, Params, TABLE1};
+
+fn main() {
+    let w = TABLE1[0]; // W1: fixed 100 B → delete 90 % → fixed 130 B
+    let p = Params { total_bytes: 64 << 20, live_cap: 16 << 20, seed: 7 };
+    println!(
+        "Fragbench {}: before={:?}, delete {:.0} %, after={:?}; live cap {} MiB\n",
+        w.name,
+        w.before,
+        w.delete_ratio * 100.0,
+        w.after,
+        p.live_cap >> 20
+    );
+
+    println!("{:<24} {:>14} {:>10}", "allocator", "peak MiB", "x live");
+    for which in [Which::Pmdk, Which::Makalu] {
+        let pool = PmemPool::new(
+            PmemConfig::default().pool_size(1 << 30).latency_mode(LatencyMode::Off),
+        );
+        let a = which.create_with_roots(pool, 1 << 20);
+        let r = fragbench::run(&a, w, p);
+        println!(
+            "{:<24} {:>14.1} {:>10.2}",
+            which.name(),
+            r.peak_mapped as f64 / (1 << 20) as f64,
+            r.overhead_factor(p.live_cap)
+        );
+    }
+    for morphing in [false, true] {
+        let pool = PmemPool::new(
+            PmemConfig::default().pool_size(1 << 30).latency_mode(LatencyMode::Off),
+        );
+        let nv = Arc::new(
+            NvAllocator::create(pool, NvConfig::log().morphing(morphing).roots(1 << 20))
+                .expect("create"),
+        );
+        let dyn_a: Arc<dyn PmAllocator> = nv.clone();
+        let r = fragbench::run(&dyn_a, w, p);
+        let label =
+            if morphing { "NVAlloc-LOG (morphing)" } else { "NVAlloc-LOG (w/o SM)" };
+        println!(
+            "{:<24} {:>14.1} {:>10.2}",
+            label,
+            r.peak_mapped as f64 / (1 << 20) as f64,
+            r.overhead_factor(p.live_cap)
+        );
+        if morphing {
+            let u = nv.slab_utilization(&[0.3, 0.7]);
+            println!(
+                "\nNVAlloc slab occupancy: {} slabs <30 %, {} in 30-70 %, {} >70 %",
+                u.counts[0], u.counts[1], u.counts[2]
+            );
+        }
+    }
+    println!("\nSlab morphing turns the 90 %-empty 112 B slabs into 160 B slabs instead");
+    println!("of leaving them stranded — the Fig. 1b / Fig. 15 effect.");
+}

@@ -1,0 +1,73 @@
+//! A persistent key-value store built on FPTree + NVAlloc: the paper's
+//! §6.3 application scenario. Inserts 100k small KV pairs (128 B payloads,
+//! as in Facebook's workloads), mixes reads/updates/deletes, and compares
+//! the allocator-induced PM traffic of NVAlloc-LOG against a PMDK-like
+//! baseline.
+//!
+//! Run with: `cargo run --release --example kv_store`
+
+use std::sync::Arc;
+
+
+use nvalloc_fptree::FpTree;
+use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+use nvalloc_workloads::allocators::Which;
+
+fn drive(which: Which) -> (f64, u64, f64) {
+    let pool = PmemPool::new(
+        PmemConfig::default().pool_size(512 << 20).latency_mode(LatencyMode::Virtual),
+    );
+    let alloc = which.create_with_roots(Arc::clone(&pool), 64);
+    let tree = FpTree::new(Arc::clone(&alloc), 128).expect("tree");
+    let mut s = tree.session();
+
+    let n: u64 = 100_000;
+    for k in 0..n {
+        s.insert(k, k * 3).expect("insert");
+    }
+    pool.stats().reset();
+    s.thread_mut().pm_mut().reset_clock();
+    let start = std::time::Instant::now();
+    let mut ops = 0u64;
+    for k in 0..n {
+        match k % 4 {
+            0 => {
+                s.insert(n + k, k).expect("insert");
+            }
+            1 => {
+                assert_eq!(s.get(k), Some(k * 3));
+            }
+            2 => {
+                s.insert(k, k * 5).expect("update");
+            }
+            _ => {
+                s.remove(k).expect("remove");
+            }
+        }
+        ops += 1;
+    }
+    let elapsed =
+        start.elapsed().as_nanos() as u64 + s.thread().pm().virtual_ns();
+    let snap = pool.stats().snapshot();
+    (ops as f64 / elapsed as f64 * 1e3, snap.flushes, snap.reflush_pct())
+}
+
+fn main() {
+    println!("persistent KV store (FPTree, 100k warm + 100k mixed ops)\n");
+    println!(
+        "{:<12} {:>10} {:>12} {:>10}",
+        "allocator", "Mops/s", "flushes", "reflush %"
+    );
+    for which in [Which::NvallocLog, Which::Pmdk] {
+        let (mops, flushes, reflush) = drive(which);
+        println!(
+            "{:<12} {:>10.2} {:>12} {:>9.1}%",
+            which.name(),
+            mops,
+            flushes,
+            reflush
+        );
+    }
+    println!("\nNVAlloc's interleaved metadata and per-thread WAL slots cut the");
+    println!("reflush share, which is where the throughput difference comes from.");
+}

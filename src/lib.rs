@@ -1,0 +1,17 @@
+//! Umbrella crate for the NVAlloc reproduction workspace: hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`). The actual library code lives in the `crates/` members:
+//!
+//! * [`nvalloc_pmem`] — emulated persistent memory with a flush cost model
+//! * [`nvalloc`] — the NVAlloc allocator (the paper's contribution)
+//! * [`nvalloc_baselines`] — PMDK/nvm_malloc/PAllocator/Makalu/Ralloc-like
+//! * [`nvalloc_fptree`] — the FPTree application
+//! * [`nvalloc_workloads`] — benchmark generators and harness
+//!
+//! Start with `examples/quickstart.rs`, then see DESIGN.md for the map.
+
+pub use nvalloc;
+pub use nvalloc_baselines;
+pub use nvalloc_fptree;
+pub use nvalloc_pmem;
+pub use nvalloc_workloads;

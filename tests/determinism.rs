@@ -1,0 +1,39 @@
+//! The virtual time model makes benchmark measurements bit-for-bit
+//! reproducible: identical runs must produce identical modelled times and
+//! PM counters.
+
+use nvalloc_workloads::allocators::Which;
+use nvalloc_workloads::{shbench, threadtest};
+use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+
+fn pool() -> std::sync::Arc<PmemPool> {
+    PmemPool::new(PmemConfig::default().pool_size(128 << 20).latency_mode(LatencyMode::Virtual))
+}
+
+#[test]
+fn threadtest_is_deterministic_single_thread() {
+    let run = || {
+        let a = Which::NvallocLog.create(pool());
+        let m = threadtest::run(
+            &a,
+            threadtest::Params { threads: 1, iterations: 5, objects: 200, size: 64 },
+        );
+        (m.ops, m.elapsed_ns, m.stats.flushes, m.stats.reflushes, m.stats.kind_ns)
+    };
+    assert_eq!(run(), run(), "single-threaded runs must be identical");
+}
+
+#[test]
+fn seeded_workloads_are_deterministic() {
+    let run = |which: Which| {
+        let a = which.create(pool());
+        let m = shbench::run(
+            &a,
+            shbench::Params { threads: 1, iterations: 2000, live_window: 32, seed: 77 },
+        );
+        (m.ops, m.elapsed_ns, m.stats.flushes)
+    };
+    for w in [Which::NvallocLog, Which::NvallocGc, Which::Pmdk, Which::Makalu] {
+        assert_eq!(run(w), run(w), "{w:?}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Differential testing: the same deterministic operation trace runs
+//! through every allocator in the workspace; user-visible behaviour
+//! (root contents, payload integrity, live accounting) must agree.
+
+use std::sync::Arc;
+
+
+use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+use nvalloc_workloads::allocators::Which;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const ALL: [Which; 7] = [
+    Which::Pmdk,
+    Which::NvmMalloc,
+    Which::Pallocator,
+    Which::Makalu,
+    Which::Ralloc,
+    Which::NvallocLog,
+    Which::NvallocGc,
+];
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Alloc { slot: usize, size: usize },
+    Free { slot: usize },
+}
+
+fn trace(seed: u64, n: usize, slots: usize, large: bool) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut occupied = vec![false; slots];
+    (0..n)
+        .map(|_| {
+            let slot = rng.gen_range(0..slots);
+            if occupied[slot] {
+                occupied[slot] = false;
+                Op::Free { slot }
+            } else {
+                occupied[slot] = true;
+                let size = if large && rng.gen_bool(0.15) {
+                    rng.gen_range(17 << 10..256 << 10)
+                } else {
+                    rng.gen_range(8..4096)
+                };
+                Op::Alloc { slot, size }
+            }
+        })
+        .collect()
+}
+
+/// Run a trace; returns (final root values validity, live_bytes) summary.
+fn run_trace(which: Which, ops: &[Op]) -> (usize, usize) {
+    let pool = PmemPool::new(
+        PmemConfig::default().pool_size(256 << 20).latency_mode(LatencyMode::Off),
+    );
+    let alloc = which.create_with_roots(Arc::clone(&pool), 4096);
+    let mut t = alloc.thread();
+    let mut expected: Vec<Option<u64>> = vec![None; 4096];
+    for op in ops {
+        match *op {
+            Op::Alloc { slot, size } => {
+                let root = alloc.root_offset(slot);
+                let addr = t
+                    .malloc_to(size, root)
+                    .unwrap_or_else(|e| panic!("{which:?}: alloc {size} -> {e}"));
+                // Tag the block.
+                pool.write_u64(addr, slot as u64 | 0xAB00_0000_0000);
+                expected[slot] = Some(addr);
+            }
+            Op::Free { slot } => {
+                let root = alloc.root_offset(slot);
+                t.free_from(root).unwrap_or_else(|e| panic!("{which:?}: free {slot} -> {e}"));
+                expected[slot] = None;
+            }
+        }
+    }
+    // Validate every live slot.
+    let mut live = 0;
+    for (slot, exp) in expected.iter().enumerate() {
+        let root_val = pool.read_u64(alloc.root_offset(slot));
+        match exp {
+            Some(addr) => {
+                assert_eq!(root_val, *addr, "{which:?}: root {slot}");
+                assert_eq!(
+                    pool.read_u64(*addr),
+                    slot as u64 | 0xAB00_0000_0000,
+                    "{which:?}: payload {slot}"
+                );
+                live += 1;
+            }
+            None => assert_eq!(root_val, 0, "{which:?}: stale root {slot}"),
+        }
+    }
+    (live, alloc.live_bytes())
+}
+
+#[test]
+fn small_trace_agrees_across_allocators() {
+    let ops = trace(0xD1FF, 4000, 512, false);
+    let results: Vec<(usize, usize)> = ALL.iter().map(|w| run_trace(*w, &ops)).collect();
+    let live0 = results[0].0;
+    for (w, (live, _)) in ALL.iter().zip(&results) {
+        assert_eq!(*live, live0, "{w:?} diverged in live count");
+    }
+}
+
+#[test]
+fn mixed_size_trace_agrees_across_allocators() {
+    let ops = trace(0xD2FF, 2000, 256, true);
+    let results: Vec<(usize, usize)> = ALL.iter().map(|w| run_trace(*w, &ops)).collect();
+    let live0 = results[0].0;
+    for (w, (live, _)) in ALL.iter().zip(&results) {
+        assert_eq!(*live, live0, "{w:?} diverged");
+    }
+}
+
+#[test]
+fn full_free_returns_all_bytes_every_allocator() {
+    for which in ALL {
+        let pool = PmemPool::new(
+            PmemConfig::default().pool_size(128 << 20).latency_mode(LatencyMode::Off),
+        );
+        let alloc = which.create_with_roots(Arc::clone(&pool), 2048);
+        let mut t = alloc.thread();
+        for i in 0..1000usize {
+            t.malloc_to(24 + (i * 31) % 3000, alloc.root_offset(i)).unwrap();
+        }
+        for i in 0..1000usize {
+            t.free_from(alloc.root_offset(i)).unwrap();
+        }
+        assert_eq!(alloc.live_bytes(), 0, "{which:?} leaked accounting");
+    }
+}

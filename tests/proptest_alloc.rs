@@ -1,0 +1,109 @@
+//! Property-based tests over the allocator API: arbitrary operation
+//! sequences must preserve the no-overlap invariant, payload integrity,
+//! exact root bookkeeping, and error discipline — on NVAlloc (both
+//! variants) and representative baselines.
+
+use std::sync::Arc;
+
+
+use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+use nvalloc_workloads::allocators::Which;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Alloc { slot: u8, size: usize },
+    Free { slot: u8 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (any::<u8>(), 1usize..20_000).prop_map(|(slot, size)| Step::Alloc { slot, size }),
+        2 => any::<u8>().prop_map(|slot| Step::Free { slot }),
+    ]
+}
+
+fn check(which: Which, steps: &[Step]) -> Result<(), TestCaseError> {
+    let pool = PmemPool::new(
+        PmemConfig::default().pool_size(128 << 20).latency_mode(LatencyMode::Off),
+    );
+    let alloc = which.create_with_roots(Arc::clone(&pool), 256);
+    let mut t = alloc.thread();
+    let mut model: [Option<(u64, usize)>; 256] = [None; 256];
+    for step in steps {
+        match *step {
+            Step::Alloc { slot, size } => {
+                let slot = slot as usize;
+                let root = alloc.root_offset(slot);
+                if model[slot].is_some() {
+                    // App discipline: free before reusing a root.
+                    t.free_from(root).expect("free occupied slot");
+                    model[slot] = None;
+                }
+                let addr = t.malloc_to(size, root).expect("alloc");
+                prop_assert!(addr % 8 == 0, "misaligned {addr:#x}");
+                prop_assert!((addr as usize) + size <= pool.size(), "out of pool");
+                for (s2, m) in model.iter().enumerate() {
+                    if let Some((a2, sz2)) = m {
+                        let no = addr + size as u64 <= *a2 || addr >= a2 + *sz2 as u64;
+                        prop_assert!(no, "overlap slot {slot} vs {s2}");
+                    }
+                }
+                pool.write_u64(addr, slot as u64 ^ 0x5AA5);
+                model[slot] = Some((addr, size));
+            }
+            Step::Free { slot } => {
+                let slot = slot as usize;
+                let root = alloc.root_offset(slot);
+                match model[slot] {
+                    Some(_) => {
+                        t.free_from(root).expect("free live slot");
+                        model[slot] = None;
+                        prop_assert!(pool.read_u64(root) == 0, "root not cleared");
+                    }
+                    None => {
+                        prop_assert!(t.free_from(root).is_err(), "double free undetected");
+                    }
+                }
+            }
+        }
+    }
+    for (slot, m) in model.iter().enumerate() {
+        if let Some((addr, _)) = m {
+            prop_assert!(
+                pool.read_u64(*addr) == slot as u64 ^ 0x5AA5,
+                "payload of slot {slot} corrupt"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn nvalloc_log_invariants(steps in proptest::collection::vec(step_strategy(), 1..200)) {
+        check(Which::NvallocLog, &steps)?;
+    }
+
+    #[test]
+    fn nvalloc_gc_invariants(steps in proptest::collection::vec(step_strategy(), 1..200)) {
+        check(Which::NvallocGc, &steps)?;
+    }
+
+    #[test]
+    fn pmdk_like_invariants(steps in proptest::collection::vec(step_strategy(), 1..150)) {
+        check(Which::Pmdk, &steps)?;
+    }
+
+    #[test]
+    fn makalu_like_invariants(steps in proptest::collection::vec(step_strategy(), 1..150)) {
+        check(Which::Makalu, &steps)?;
+    }
+
+    #[test]
+    fn pallocator_like_invariants(steps in proptest::collection::vec(step_strategy(), 1..150)) {
+        check(Which::Pallocator, &steps)?;
+    }
+}

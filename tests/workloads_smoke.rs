@@ -1,0 +1,112 @@
+//! Smoke-run every workload generator against every allocator at tiny
+//! scale: catches API/behaviour regressions across the full matrix.
+
+use std::sync::Arc;
+
+use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+use nvalloc_workloads::allocators::Which;
+use nvalloc_workloads::{dbmstest, fragbench, larson, prodcon, shbench, threadtest};
+
+const ALL: [Which; 7] = [
+    Which::Pmdk,
+    Which::NvmMalloc,
+    Which::Pallocator,
+    Which::Makalu,
+    Which::Ralloc,
+    Which::NvallocLog,
+    Which::NvallocGc,
+];
+
+fn pool(mb: usize) -> Arc<PmemPool> {
+    PmemPool::new(
+        PmemConfig::default().pool_size(mb << 20).latency_mode(LatencyMode::Virtual),
+    )
+}
+
+#[test]
+fn threadtest_matrix() {
+    for w in ALL {
+        let a = w.create(pool(128));
+        let m = threadtest::run(
+            &a,
+            threadtest::Params { threads: 2, iterations: 2, objects: 64, size: 64 },
+        );
+        assert_eq!(m.ops, 2 * 2 * 64 * 2, "{w:?}");
+        assert!(m.elapsed_ns > 0, "{w:?}");
+    }
+}
+
+#[test]
+fn prodcon_matrix() {
+    for w in ALL {
+        let a = w.create(pool(128));
+        let m = prodcon::run(&a, prodcon::Params { threads: 2, objects: 200, size: 64, batch: 16 });
+        assert_eq!(m.ops, 2 * 200, "{w:?}");
+    }
+}
+
+#[test]
+fn shbench_matrix() {
+    for w in ALL {
+        let a = w.create(pool(128));
+        let m = shbench::run(
+            &a,
+            shbench::Params { threads: 2, iterations: 300, live_window: 16, seed: 3 },
+        );
+        assert!(m.ops > 0, "{w:?}");
+        assert_eq!(a.live_bytes(), 0, "{w:?}");
+    }
+}
+
+#[test]
+fn larson_small_matrix() {
+    for w in ALL {
+        let a = w.create(pool(128));
+        let m = larson::run(&a, larson::Params { threads: 2, rounds: 3, slots: 32, size_range: (64, 256), seed: 4 });
+        assert!(m.ops > 0, "{w:?}");
+        assert_eq!(a.live_bytes(), 0, "{w:?}");
+    }
+}
+
+#[test]
+fn larson_large_matrix() {
+    for w in ALL {
+        let a = w.create(pool(256));
+        let m = larson::run(
+            &a,
+            larson::Params { threads: 2, rounds: 2, slots: 6, size_range: (32 << 10, 128 << 10), seed: 5 },
+        );
+        assert!(m.ops > 0, "{w:?}");
+        assert_eq!(a.live_bytes(), 0, "{w:?}");
+    }
+}
+
+#[test]
+fn dbmstest_matrix() {
+    for w in ALL {
+        let a = w.create(pool(512));
+        let m = dbmstest::run(
+            &a,
+            dbmstest::Params {
+                threads: 2,
+                objects: 8,
+                warmup: 1,
+                iterations: 2,
+                delete_ratio: 0.9,
+                seed: 6,
+            },
+        );
+        assert!(m.ops > 0, "{w:?}");
+        assert_eq!(a.live_bytes(), 0, "{w:?}");
+    }
+}
+
+#[test]
+fn fragbench_w1_matrix() {
+    for w in ALL {
+        let a = w.create_with_roots(pool(128), 1 << 17);
+        let r = fragbench::run(&a, fragbench::TABLE1[0], fragbench::Params::tiny());
+        assert!(r.peak_mapped > 0, "{w:?}");
+        assert!(r.final_live <= fragbench::Params::tiny().live_cap, "{w:?}");
+    }
+}
