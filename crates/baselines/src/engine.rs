@@ -18,8 +18,9 @@ use nvalloc::internals::{
     BitmapLayout, GeometryTable, LargeAlloc, LargeConfig, Owner, PmBitmap, RTree, VehId,
     REGION_BYTES,
 };
-use nvalloc::{class_size, size_to_class, ClassId, PmError, PmOffset, PmResult, NUM_CLASSES,
-    SLAB_SIZE};
+use nvalloc::{
+    class_size, size_to_class, ClassId, PmError, PmOffset, PmResult, NUM_CLASSES, SLAB_SIZE,
+};
 use nvalloc_pmem::{FlushKind, PmThread, PmemPool};
 
 use crate::policy::{BaselineKind, MetaScheme, Policy, WalScheme};
@@ -61,8 +62,8 @@ impl BLayout {
         let roots_off = 64u64;
         let roots_end = roots_off + roots as u64 * 8;
         let wal_base = (roots_end + 63) & !63;
-        let wal_bytes_per_arena =
-            (WAL_ENTRIES_PER_ARENA * WAL_ENTRY_BYTES).max(MICRO_LOGS * MICRO_SLOTS * WAL_ENTRY_BYTES);
+        let wal_bytes_per_arena = (WAL_ENTRIES_PER_ARENA * WAL_ENTRY_BYTES)
+            .max(MICRO_LOGS * MICRO_SLOTS * WAL_ENTRY_BYTES);
         let wal_end = wal_base + (arenas * wal_bytes_per_arena) as u64;
         let region_table = (wal_end + 63) & !63;
         let region_table_bytes = 8 + 8 * (pool_size / REGION_BYTES + 2);
@@ -374,11 +375,7 @@ impl BArena {
     pub(crate) fn reopen(wal_base: PmOffset) -> BArena {
         BArena {
             heap: Arc::new(Mutex::new(BHeap::new())),
-            wal: Mutex::new(BWal {
-                base: wal_base + 64,
-                cap: WAL_ENTRIES_PER_ARENA - 2,
-                next: 0,
-            }),
+            wal: Mutex::new(BWal { base: wal_base + 64, cap: WAL_ENTRIES_PER_ARENA - 2, next: 0 }),
             threads: AtomicUsize::new(0),
             wal_next_micro: AtomicUsize::new(0),
             wal_base,
@@ -601,13 +598,7 @@ impl BaselineThread {
     }
 
     /// Write + flush a micro-log entry (PAllocator); returns its offset.
-    fn micro_entry(
-        &mut self,
-        addr: PmOffset,
-        dest: PmOffset,
-        size: u32,
-        alloc: bool,
-    ) -> PmOffset {
+    fn micro_entry(&mut self, addr: PmOffset, dest: PmOffset, size: u32, alloc: bool) -> PmOffset {
         let pool = &self.inner.pool;
         let slot = self.micro_next % MICRO_SLOTS;
         self.micro_next += 1;
@@ -622,7 +613,13 @@ impl BaselineThread {
         off
     }
 
-    fn wal_begin(&mut self, addr: PmOffset, dest: PmOffset, size: u32, alloc: bool) -> Vec<PmOffset> {
+    fn wal_begin(
+        &mut self,
+        addr: PmOffset,
+        dest: PmOffset,
+        size: u32,
+        alloc: bool,
+    ) -> Vec<PmOffset> {
         match self.policy().wal {
             WalScheme::None => Vec::new(),
             WalScheme::ThreadMicroInvalidate => vec![self.micro_entry(addr, dest, size, alloc)],
@@ -646,9 +643,25 @@ impl BaselineThread {
                     // §3.1 pathology at its purest.
                     let extra = self.policy().extra_tx_entries;
                     for k in 0..extra {
-                        entries.push(wal.write_entry_at(&pool, &mut self.pm, k, dest, dest, 8, alloc));
+                        entries.push(wal.write_entry_at(
+                            &pool,
+                            &mut self.pm,
+                            k,
+                            dest,
+                            dest,
+                            8,
+                            alloc,
+                        ));
                     }
-                    entries.push(wal.write_entry_at(&pool, &mut self.pm, extra, addr, dest, size, alloc));
+                    entries.push(wal.write_entry_at(
+                        &pool,
+                        &mut self.pm,
+                        extra,
+                        addr,
+                        dest,
+                        size,
+                        alloc,
+                    ));
                 } else {
                     for _ in 0..self.policy().extra_tx_entries {
                         entries.push(wal.write_entry(&pool, &mut self.pm, dest, dest, 8, alloc));
@@ -778,13 +791,8 @@ impl BaselineThread {
             return Ok(());
         }
         // New slab (static segregation: never repurpose another class's).
-        let (veh, off) = inner.large.lock().alloc_aligned(
-            pool,
-            &mut self.pm,
-            SLAB_SIZE,
-            SLAB_SIZE,
-            true,
-        )?;
+        let (veh, off) =
+            inner.large.lock().alloc_aligned(pool, &mut self.pm, SLAB_SIZE, SLAB_SIZE, true)?;
         let scheme = match self.policy().meta {
             MetaScheme::SeqBitmap => SCHEME_BITMAP,
             MetaScheme::StateArray => SCHEME_STATE,
@@ -803,8 +811,13 @@ impl BaselineThread {
         pool.flush(&mut self.pm, off, geom.data_offset, FlushKind::Meta);
         pool.fence(&mut self.pm);
 
-        let owner_idx = if self.policy().per_thread_heaps { self.heap_idx } else { self.arena_id() };
-        inner.rtree.insert_range(off, SLAB_SIZE, Owner::Slab { slab: off, arena: owner_idx }.pack());
+        let owner_idx =
+            if self.policy().per_thread_heaps { self.heap_idx } else { self.arena_id() };
+        inner.rtree.insert_range(
+            off,
+            SLAB_SIZE,
+            Owner::Slab { slab: off, arena: owner_idx }.pack(),
+        );
         let mut slab = BSlab::new(off, class, veh, geom);
         let mut filled = 0;
         while filled < cap {
@@ -836,9 +849,7 @@ impl BaselineThread {
             Some(a) => a,
             None => {
                 self.refill(class)?;
-                self.tcache[class]
-                    .pop()
-                    .ok_or(PmError::OutOfMemory { requested: size })?
+                self.tcache[class].pop().ok_or(PmError::OutOfMemory { requested: size })?
             }
         };
         let entry = self.wal_begin(addr, dest, size as u32, true);
@@ -967,8 +978,7 @@ impl BaselineThread {
         let inner = Arc::clone(&self.inner);
         let pool = &inner.pool;
         let (veh, off) = inner.large.lock().alloc(pool, &mut self.pm, size, false)?;
-        let actual =
-            inner.large.lock().veh(veh).map(|v| v.size).unwrap_or(size);
+        let actual = inner.large.lock().veh(veh).map(|v| v.size).unwrap_or(size);
         let entry = self.wal_begin(off, dest, size as u32, true);
         if self.policy().strong {
             pool.persist_u64(&mut self.pm, dest, off, FlushKind::Data);
@@ -1052,8 +1062,7 @@ impl AllocThread for BaselineThread {
                             let was_exhausted = slab.nfree == 0;
                             slab.unmark(idx);
                             if was_exhausted {
-                                heap.freelist[slab.class]
-                                    .push_back(slab_off);
+                                heap.freelist[slab.class].push_back(slab_off);
                             }
                         }
                     }
@@ -1169,9 +1178,7 @@ mod tests {
     #[test]
     fn per_thread_heap_registry_grows() {
         let pool = PmemPool::new(
-            nvalloc_pmem::PmemConfig::default()
-                .pool_size(64 << 20)
-                .latency_mode(LatencyMode::Off),
+            nvalloc_pmem::PmemConfig::default().pool_size(64 << 20).latency_mode(LatencyMode::Off),
         );
         let b = Baseline::create(pool, crate::policy::BaselineKind::Pallocator).unwrap();
         use nvalloc::api::PmAllocator;

@@ -267,25 +267,26 @@ fn conservative_mark(
     let mut marked = HashSet::new();
     let mut queue: VecDeque<(PmOffset, usize)> = VecDeque::new();
 
-    let push = |p: PmOffset, marked: &mut HashSet<PmOffset>, queue: &mut VecDeque<(PmOffset, usize)>| {
-        if p == 0 || p as usize >= pool.size() {
-            return;
-        }
-        let slab_off = p & !(SLAB_SIZE as u64 - 1);
-        if let Some(slab) = by_off.get(&slab_off) {
-            if slab.block_index(p).is_some() && marked.insert(p) {
-                queue.push_back((p, class_size(slab.class)));
+    let push =
+        |p: PmOffset, marked: &mut HashSet<PmOffset>, queue: &mut VecDeque<(PmOffset, usize)>| {
+            if p == 0 || p as usize >= pool.size() {
+                return;
             }
-            return;
-        }
-        if let Some(Owner::Extent { veh }) = large.rtree().lookup(p).map(Owner::unpack) {
-            if let Some(v) = large.veh(veh) {
-                if v.off == p && marked.insert(p) {
-                    queue.push_back((p, v.size));
+            let slab_off = p & !(SLAB_SIZE as u64 - 1);
+            if let Some(slab) = by_off.get(&slab_off) {
+                if slab.block_index(p).is_some() && marked.insert(p) {
+                    queue.push_back((p, class_size(slab.class)));
+                }
+                return;
+            }
+            if let Some(Owner::Extent { veh }) = large.rtree().lookup(p).map(Owner::unpack) {
+                if let Some(v) = large.veh(veh) {
+                    if v.off == p && marked.insert(p) {
+                        queue.push_back((p, v.size));
+                    }
                 }
             }
-        }
-    };
+        };
 
     for i in 0..layout.roots_count {
         let p = pool.read_u64(layout.roots + (i * 8) as u64);

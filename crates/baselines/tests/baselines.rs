@@ -158,9 +158,8 @@ fn pmdk_reflushes_more_than_nvalloc_log() {
         p.stats().snapshot().allocator_reflush_pct()
     };
     let pmdk = measure(&|p| Box::new(Baseline::create(p, BaselineKind::Pmdk).unwrap()));
-    let nv = measure(&|p| {
-        Box::new(nvalloc::NvAllocator::create(p, nvalloc::NvConfig::log()).unwrap())
-    });
+    let nv =
+        measure(&|p| Box::new(nvalloc::NvAllocator::create(p, nvalloc::NvConfig::log()).unwrap()));
     assert!(pmdk > 55.0, "PMDK reflush {pmdk:.1}%");
     assert!(nv < 5.0, "NVAlloc-LOG reflush {nv:.1}%");
 }
@@ -282,18 +281,12 @@ fn inplace_headers_cause_scattered_metadata_writes() {
             t.free_from(a.root_offset(v)).unwrap();
         }
     }
-    let meta_addrs: Vec<u64> = p
-        .stats()
-        .trace()
-        .iter()
-        .filter(|r| r.kind == FlushKind::Meta)
-        .map(|r| r.addr)
-        .collect();
+    let meta_addrs: Vec<u64> =
+        p.stats().trace().iter().filter(|r| r.kind == FlushKind::Meta).map(|r| r.addr).collect();
     p.stats().disable_trace();
     assert!(meta_addrs.len() > 100);
     // Spread: addresses span multiple 4 MB regions.
-    let regions: std::collections::HashSet<u64> =
-        meta_addrs.iter().map(|a| a >> 22).collect();
+    let regions: std::collections::HashSet<u64> = meta_addrs.iter().map(|a| a >> 22).collect();
     assert!(regions.len() >= 2, "metadata writes should span regions ({})", regions.len());
 }
 

@@ -10,9 +10,7 @@ use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
 use nvalloc_workloads::allocators::Which;
 
 fn pool() -> Arc<PmemPool> {
-    PmemPool::new(
-        PmemConfig::default().pool_size(256 << 20).latency_mode(LatencyMode::Off),
-    )
+    PmemPool::new(PmemConfig::default().pool_size(256 << 20).latency_mode(LatencyMode::Off))
 }
 
 fn bench_malloc_free(c: &mut Criterion) {

@@ -11,9 +11,7 @@ use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
 use std::sync::Arc;
 
 fn pool(mb: usize) -> Arc<PmemPool> {
-    PmemPool::new(
-        PmemConfig::default().pool_size(mb << 20).latency_mode(LatencyMode::Off),
-    )
+    PmemPool::new(PmemConfig::default().pool_size(mb << 20).latency_mode(LatencyMode::Off))
 }
 
 fn bench_bitmap(c: &mut Criterion) {
@@ -50,11 +48,9 @@ fn bench_rtree(c: &mut Criterion) {
 
 fn bench_small_paths_by_variant(c: &mut Criterion) {
     let mut g = c.benchmark_group("variant_small_pair");
-    for (name, cfg) in [
-        ("LOG", NvConfig::log()),
-        ("GC", NvConfig::gc()),
-        ("IC", NvConfig::internal()),
-    ] {
+    for (name, cfg) in
+        [("LOG", NvConfig::log()), ("GC", NvConfig::gc()), ("IC", NvConfig::internal())]
+    {
         let a = NvAllocator::create(pool(128), cfg).expect("create");
         let mut t = a.thread();
         let root = a.root_offset(0);
@@ -70,10 +66,7 @@ fn bench_small_paths_by_variant(c: &mut Criterion) {
 
 fn bench_large_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("large_extent_pair");
-    for (name, cfg) in [
-        ("booklog", NvConfig::log()),
-        ("in_place", NvConfig::base()),
-    ] {
+    for (name, cfg) in [("booklog", NvConfig::log()), ("in_place", NvConfig::base())] {
         let a = NvAllocator::create(pool(512), cfg).expect("create");
         let mut t = a.thread();
         let root = a.root_offset(0);
@@ -107,8 +100,7 @@ fn bench_recovery(c: &mut Criterion) {
     c.bench_function("recover_1k_objects", |b| {
         b.iter(|| {
             let pool = PmemPool::from_crash_image(image.clone());
-            let (_a, report) =
-                NvAllocator::recover(pool, NvConfig::log()).expect("recover");
+            let (_a, report) = NvAllocator::recover(pool, NvConfig::log()).expect("recover");
             assert!(report.slabs > 0);
         })
     });

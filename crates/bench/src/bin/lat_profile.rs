@@ -4,9 +4,9 @@
 //! WAL-based baselines' percentiles sit on the reflush plateau while
 //! NVAlloc's stay on the sequential-flush floor.
 
+use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
 use nvalloc_workloads::allocators::Which;
 use nvalloc_workloads::Reporter;
-use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {

@@ -19,7 +19,11 @@ fn main() {
         let st = m.stats;
         println!(
             "S={s:>2} flushes={} reflush={} seq={} rand={} xpmiss={} elapsed_ms={:.2}",
-            st.flushes, st.reflushes, st.seq_writes, st.rand_writes, st.xpbuf_misses,
+            st.flushes,
+            st.reflushes,
+            st.seq_writes,
+            st.rand_writes,
+            st.xpbuf_misses,
             m.elapsed_ms()
         );
     }

@@ -55,7 +55,9 @@ pub fn run_fig11(scale: &Scale) {
         ]);
         for (name, cfg) in configs() {
             let alloc = create_custom(pool_mb(1024), cfg, 1 << 19);
-            let m = measure(&alloc, bench, scale);
+            let mut m = measure(&alloc, bench, scale);
+            m.allocator = name.to_string();
+            scale.emit(&format!("fig11_breakdown/{bench}"), &m);
             // Shares of the total cross-thread work: modelled PM time by
             // attribution kind plus the CPU (search/list/lock) component.
             let meta = m.stats.ns_of(FlushKind::Meta) as f64;

@@ -5,14 +5,14 @@ use std::sync::Arc;
 
 use nvalloc_fptree::FpTree;
 use nvalloc_workloads::allocators::Which;
-use nvalloc_workloads::Reporter;
+use nvalloc_workloads::{BenchMeasurement, Reporter};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::experiments::{mops_cell, pool_mb};
 use crate::Scale;
 
-fn run_tree(which: Which, threads: usize, warm: usize, ops: usize) -> f64 {
+fn run_tree(which: Which, threads: usize, warm: usize, ops: usize) -> BenchMeasurement {
     let pool = pool_mb(1024 + threads * 16);
     let alloc = which.create_with_roots(Arc::clone(&pool), 64);
     let tree = FpTree::new(Arc::clone(&alloc), 128).expect("tree");
@@ -24,6 +24,7 @@ fn run_tree(which: Which, threads: usize, warm: usize, ops: usize) -> f64 {
         }
     }
     pool.stats().reset();
+    let m0 = alloc.metrics();
     let virtuals: Vec<u64> = std::thread::scope(|sc| {
         (0..threads)
             .map(|k| {
@@ -50,19 +51,27 @@ fn run_tree(which: Which, threads: usize, warm: usize, ops: usize) -> f64 {
             .collect()
     });
     let per = (ops / threads) as u64;
-    let elapsed = virtuals.into_iter().max().unwrap_or(0)
-        + per * nvalloc_workloads::harness::CPU_NS_PER_OP;
-    ops as f64 / elapsed.max(1) as f64 * 1e3
+    let elapsed =
+        virtuals.into_iter().max().unwrap_or(0) + per * nvalloc_workloads::harness::CPU_NS_PER_OP;
+    BenchMeasurement {
+        allocator: alloc.name(),
+        threads,
+        ops: ops as u64,
+        elapsed_ns: elapsed.max(1),
+        stats: pool.stats().snapshot(),
+        peak_mapped: alloc.peak_mapped_bytes(),
+        mapped: alloc.heap_mapped_bytes(),
+        metrics: alloc.metrics().since(&m0),
+    }
 }
 
 /// Fig. 14: throughput by thread count for both consistency classes.
 pub fn run_fig14(scale: &Scale) {
     let warm = scale.ops(20_000, 2_000);
     let total_ops = scale.ops(20_000, 2_000);
-    for (title, set) in [
-        ("strongly consistent", &Which::STRONG[..]),
-        ("weakly consistent", &Which::WEAK[..]),
-    ] {
+    for (title, set) in
+        [("strongly consistent", &Which::STRONG[..]), ("weakly consistent", &Which::WEAK[..])]
+    {
         println!("\n== Fig 14: FPTree 50/50 insert/delete, {title} (Mops/s) ==");
         let mut headers = vec!["threads".to_string()];
         headers.extend(set.iter().map(|w| w.name().to_string()));
@@ -71,7 +80,9 @@ pub fn run_fig14(scale: &Scale) {
         for &t in scale.threads() {
             let mut row = vec![t.to_string()];
             for &w in set {
-                row.push(mops_cell(run_tree(w, t, warm, total_ops)));
+                let m = run_tree(w, t, warm, total_ops);
+                scale.emit("fig14_fptree", &m);
+                row.push(mops_cell(m.mops()));
             }
             let rrefs: Vec<&str> = row.iter().map(|s| s.as_str()).collect();
             rep.row(&rrefs);

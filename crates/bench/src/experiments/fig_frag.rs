@@ -17,15 +17,21 @@ pub fn run_space(scale: &Scale) {
     for w in fragbench::TABLE1 {
         let makalu = {
             let a = Which::Makalu.create_with_roots(pool_mb(2048), 1 << 20);
-            fragbench::run(&a, w, frag_params(scale)).peak_mapped
+            let r = fragbench::run(&a, w, frag_params(scale));
+            scale.emit(&format!("fig15a_space/{}", w.name), &r.measurement);
+            r.peak_mapped
         };
         let wo_sm = {
             let a = create_custom(pool_mb(2048), NvConfig::log().morphing(false), 1 << 20);
-            fragbench::run(&a, w, frag_params(scale)).peak_mapped
+            let r = fragbench::run(&a, w, frag_params(scale));
+            scale.emit(&format!("fig15a_space/{}/no_sm", w.name), &r.measurement);
+            r.peak_mapped
         };
         let with_sm = {
             let a = create_custom(pool_mb(2048), NvConfig::log(), 1 << 20);
-            fragbench::run(&a, w, frag_params(scale)).peak_mapped
+            let r = fragbench::run(&a, w, frag_params(scale));
+            scale.emit(&format!("fig15a_space/{}/sm", w.name), &r.measurement);
+            r.peak_mapped
         };
         rep.row(&[w.name, &mib(makalu), &mib(wo_sm), &mib(with_sm)]);
     }
@@ -73,24 +79,18 @@ pub fn run_breakdown(scale: &Scale) {
 /// Fig. 15(c)/(d): Fragbench execution time for both consistency classes.
 pub fn run_perf(scale: &Scale) {
     println!("\n== Fig 15c: Fragbench time, strongly consistent (ms) ==");
-    let mut rep = Reporter::new(&[
-        "workload",
-        "PMDK",
-        "nvm_malloc",
-        "NVAlloc-LOG w/o SM",
-        "NVAlloc-LOG",
-    ]);
+    let mut rep =
+        Reporter::new(&["workload", "PMDK", "nvm_malloc", "NVAlloc-LOG w/o SM", "NVAlloc-LOG"]);
     for w in fragbench::TABLE1 {
         let t = |which: Option<Which>, morph: bool| {
             let a = match which {
                 Some(wh) => wh.create_with_roots(pool_mb(2048), 1 << 20),
-                None => create_custom(
-                    pool_mb(2048),
-                    NvConfig::log().morphing(morph),
-                    1 << 20,
-                ),
+                None => create_custom(pool_mb(2048), NvConfig::log().morphing(morph), 1 << 20),
             };
-            fragbench::run(&a, w, frag_params(scale)).measurement.elapsed_ms()
+            let r = fragbench::run(&a, w, frag_params(scale));
+            let sm = if morph { "sm" } else { "no_sm" };
+            scale.emit(&format!("fig15c_perf_strong/{}/{sm}", w.name), &r.measurement);
+            r.measurement.elapsed_ms()
         };
         rep.row(&[
             w.name,
@@ -103,20 +103,18 @@ pub fn run_perf(scale: &Scale) {
     print!("{}", rep.render());
 
     println!("\n== Fig 15d: Fragbench time, weakly consistent (ms) ==");
-    let mut rep = Reporter::new(&[
-        "workload",
-        "Makalu",
-        "Ralloc",
-        "NVAlloc-GC w/o SM",
-        "NVAlloc-GC",
-    ]);
+    let mut rep =
+        Reporter::new(&["workload", "Makalu", "Ralloc", "NVAlloc-GC w/o SM", "NVAlloc-GC"]);
     for w in fragbench::TABLE1 {
         let t = |which: Option<Which>, morph: bool| {
             let a = match which {
                 Some(wh) => wh.create_with_roots(pool_mb(2048), 1 << 20),
                 None => create_custom(pool_mb(2048), NvConfig::gc().morphing(morph), 1 << 20),
             };
-            fragbench::run(&a, w, frag_params(scale)).measurement.elapsed_ms()
+            let r = fragbench::run(&a, w, frag_params(scale));
+            let sm = if morph { "sm" } else { "no_sm" };
+            scale.emit(&format!("fig15d_perf_weak/{}/{sm}", w.name), &r.measurement);
+            r.measurement.elapsed_ms()
         };
         rep.row(&[
             w.name,

@@ -11,7 +11,12 @@ use nvalloc_workloads::{dbmstest, larson, BenchMeasurement, Reporter};
 use crate::experiments::{mops_cell, pool_eadr_mb, pool_mb};
 use crate::Scale;
 
-fn run_bench(alloc: &Arc<dyn PmAllocator>, bench: &str, threads: usize, scale: &Scale) -> BenchMeasurement {
+fn run_bench(
+    alloc: &Arc<dyn PmAllocator>,
+    bench: &str,
+    threads: usize,
+    scale: &Scale,
+) -> BenchMeasurement {
     match bench {
         "Larson-large" => {
             let mut p = larson::Params::large(threads);
@@ -37,7 +42,7 @@ fn pool_for(threads: usize, eadr: bool) -> Arc<nvalloc_pmem::PmemPool> {
     }
 }
 
-fn sweep(title: &str, scale: &Scale, eadr: bool) {
+fn sweep(title: &str, slug: &str, scale: &Scale, eadr: bool) {
     for bench in ["Larson-large", "DBMStest"] {
         println!("\n== {title}: {bench} (Mops/s by thread count) ==");
         let mut headers = vec!["threads".to_string()];
@@ -49,6 +54,7 @@ fn sweep(title: &str, scale: &Scale, eadr: bool) {
             for w in Which::LARGE {
                 let alloc = w.create_with_roots(pool_for(t, eadr), 1 << 19);
                 let m = run_bench(&alloc, bench, t, scale);
+                scale.emit(&format!("{slug}/{bench}"), &m);
                 row.push(mops_cell(m.mops()));
             }
             let rrefs: Vec<&str> = row.iter().map(|s| s.as_str()).collect();
@@ -60,12 +66,12 @@ fn sweep(title: &str, scale: &Scale, eadr: bool) {
 
 /// Fig. 12: large allocations, ADR.
 pub fn run_fig12(scale: &Scale) {
-    sweep("Fig 12 (large, ADR)", scale, false);
+    sweep("Fig 12 (large, ADR)", "fig12_large", scale, false);
 }
 
 /// Fig. 21: large allocations, emulated eADR.
 pub fn run_fig21(scale: &Scale) {
-    sweep("Fig 21 (large, eADR)", scale, true);
+    sweep("Fig 21 (large, eADR)", "fig21_large_eadr", scale, true);
 }
 
 /// Fig. 17: booklog GC on/off. The paper's `Usage_pmem = 0.2 %` applies
@@ -87,6 +93,8 @@ pub fn run_fig17(scale: &Scale) {
         };
         let (without, _) = measure(false);
         let (with, gcs) = measure(true);
+        scale.emit(&format!("fig17_booklog_gc/{bench}/no_gc"), &without);
+        scale.emit(&format!("fig17_booklog_gc/{bench}/gc"), &with);
         let slowdown = 100.0 * (1.0 - with.mops() / without.mops());
         rep.row(&[
             bench,

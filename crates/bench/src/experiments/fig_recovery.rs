@@ -8,7 +8,7 @@ use nvalloc::api::PmAllocator;
 use nvalloc::{NvAllocator, NvConfig};
 use nvalloc_baselines::{Baseline, BaselineKind};
 use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
-use nvalloc_workloads::{linkedlist, Reporter};
+use nvalloc_workloads::{linkedlist, BenchMeasurement, Reporter};
 
 use crate::Scale;
 
@@ -23,6 +23,28 @@ fn crash_pool(mb: usize) -> Arc<PmemPool> {
 
 fn ms(ns: u128) -> String {
     format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// Package one recovery run as a measurement for `--json` output. The
+/// recovered allocator's metrics carry the WAL-replay count and the
+/// modelled recovery-latency histogram (all-zero for baselines).
+fn recovery_measurement(
+    name: &str,
+    nodes: usize,
+    elapsed_ns: u128,
+    img: &Arc<PmemPool>,
+    alloc: &Arc<dyn PmAllocator>,
+) -> BenchMeasurement {
+    BenchMeasurement {
+        allocator: name.to_string(),
+        threads: 1,
+        ops: nodes as u64,
+        elapsed_ns: elapsed_ns as u64,
+        stats: img.stats().snapshot(),
+        peak_mapped: alloc.peak_mapped_bytes(),
+        mapped: alloc.heap_mapped_bytes(),
+        metrics: alloc.metrics(),
+    }
 }
 
 /// Fig. 18: build the list, exit cleanly... no — crash, then measure
@@ -51,7 +73,9 @@ pub fn run_fig18(scale: &Scale) {
         let elapsed = start.elapsed().as_nanos();
         let alloc2: Arc<dyn PmAllocator> = Arc::new(recovered);
         assert_eq!(linkedlist::count(&alloc2), nodes, "{kind:?} lost nodes");
-        rep.row(&[&format!("{kind:?}"), &ms(elapsed), note]);
+        let name = format!("{kind:?}");
+        scale.emit("fig18_recovery", &recovery_measurement(&name, nodes, elapsed, &img, &alloc2));
+        rep.row(&[&name, &ms(elapsed), note]);
     }
 
     // NVAlloc variants.
@@ -60,9 +84,8 @@ pub fn run_fig18(scale: &Scale) {
         (NvConfig::gc(), "NVAlloc-GC", "conservative GC"),
     ] {
         let pool = crash_pool(mb);
-        let alloc: Arc<dyn PmAllocator> = Arc::new(
-            NvAllocator::create(Arc::clone(&pool), cfg.clone()).expect("create"),
-        );
+        let alloc: Arc<dyn PmAllocator> =
+            Arc::new(NvAllocator::create(Arc::clone(&pool), cfg.clone()).expect("create"));
         linkedlist::build(&alloc, nodes, 0x18);
         // Crash (not clean exit) so the failure paths run, as in the paper.
         let img = PmemPool::from_crash_image(pool.crash());
@@ -71,6 +94,7 @@ pub fn run_fig18(scale: &Scale) {
         let elapsed = start.elapsed().as_nanos();
         let alloc2: Arc<dyn PmAllocator> = Arc::new(recovered);
         assert_eq!(linkedlist::count(&alloc2), nodes, "{name} lost nodes");
+        scale.emit("fig18_recovery", &recovery_measurement(name, nodes, elapsed, &img, &alloc2));
         rep.row(&[name, &ms(elapsed), note]);
     }
     print!("{}", rep.render());

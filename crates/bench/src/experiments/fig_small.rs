@@ -49,7 +49,7 @@ fn run_bench(
     }
 }
 
-fn sweep(title: &str, set: &[Which], scale: &Scale, eadr: bool) {
+fn sweep(title: &str, slug: &str, set: &[Which], scale: &Scale, eadr: bool) {
     for bench in BENCHES {
         println!("\n== {title}: {bench} (Mops/s by thread count) ==");
         let mut headers = vec!["threads".to_string()];
@@ -60,6 +60,7 @@ fn sweep(title: &str, set: &[Which], scale: &Scale, eadr: bool) {
             let mut row = vec![t.to_string()];
             for &w in set {
                 let m = run_bench(w, bench, t, scale, eadr);
+                scale.emit(&format!("{slug}/{bench}"), &m);
                 row.push(mops_cell(m.mops()));
             }
             let rrefs: Vec<&str> = row.iter().map(|s| s.as_str()).collect();
@@ -71,15 +72,15 @@ fn sweep(title: &str, set: &[Which], scale: &Scale, eadr: bool) {
 
 /// Fig. 9: strongly consistent allocators, ADR.
 pub fn run_fig09(scale: &Scale) {
-    sweep("Fig 9 (strong, ADR)", &Which::STRONG, scale, false);
+    sweep("Fig 9 (strong, ADR)", "fig09_small_strong", &Which::STRONG, scale, false);
 }
 
 /// Fig. 10: weakly consistent allocators, ADR.
 pub fn run_fig10(scale: &Scale) {
-    sweep("Fig 10 (weak, ADR)", &Which::WEAK, scale, false);
+    sweep("Fig 10 (weak, ADR)", "fig10_small_weak", &Which::WEAK, scale, false);
 }
 
 /// Fig. 20: strongly consistent allocators on emulated eADR.
 pub fn run_fig20(scale: &Scale) {
-    sweep("Fig 20 (strong, eADR)", &Which::STRONG, scale, true);
+    sweep("Fig 20 (strong, eADR)", "fig20_small_eadr", &Which::STRONG, scale, true);
 }

@@ -35,6 +35,7 @@ pub fn run_fig13(scale: &Scale) {
                         dbmstest::run(&alloc, p)
                     }
                 };
+                scale.emit(&format!("fig13_space/{bench}"), &m);
                 row.push(mib(m.peak_mapped));
             }
             let rrefs: Vec<&str> = row.iter().map(|s| s.as_str()).collect();

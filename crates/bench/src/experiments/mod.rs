@@ -17,9 +17,7 @@ use nvalloc_pmem::{LatencyMode, PmemConfig, PmemMode, PmemPool};
 
 /// A virtual-latency ADR pool of `mb` megabytes.
 pub fn pool_mb(mb: usize) -> Arc<PmemPool> {
-    PmemPool::new(
-        PmemConfig::default().pool_size(mb << 20).latency_mode(LatencyMode::Virtual),
-    )
+    PmemPool::new(PmemConfig::default().pool_size(mb << 20).latency_mode(LatencyMode::Virtual))
 }
 
 /// A virtual-latency eADR pool of `mb` megabytes (§6.7 experiments).

@@ -47,6 +47,7 @@ pub fn run_fig01a(scale: &Scale) {
                     larson::run(&alloc, p)
                 }
             };
+            scale.emit(&format!("fig01a_reflush/{bench}"), &m);
             let pct = m.stats.allocator_reflush_pct();
             row.push(format!("{pct:.1}"));
             row.push(format!("{:.1}", 100.0 - pct));
@@ -74,6 +75,7 @@ pub fn run_fig01b(scale: &Scale) {
         for which in set {
             let alloc = which.create_with_roots(pool_mb(2048), 1 << 20);
             let r = fragbench::run(&alloc, w, frag_params(scale));
+            scale.emit(&format!("fig01b_frag_space/{}", w.name), &r.measurement);
             row.push(mib(r.peak_mapped));
         }
         let rrefs: Vec<&str> = row.iter().map(|s| s.as_str()).collect();
@@ -132,8 +134,7 @@ pub fn run_fig02(scale: &Scale) {
         let lo = *addrs.iter().min().expect("nonempty");
         let hi = *addrs.iter().max().expect("nonempty");
         let pages: std::collections::HashSet<u64> = addrs.iter().map(|a| a >> 12).collect();
-        let mut deltas: Vec<u64> =
-            addrs.windows(2).map(|w| w[0].abs_diff(w[1])).collect();
+        let mut deltas: Vec<u64> = addrs.windows(2).map(|w| w[0].abs_diff(w[1])).collect();
         deltas.sort_unstable();
         let median = deltas.get(deltas.len() / 2).copied().unwrap_or(0);
         let mut bins = [0usize; 16];

@@ -5,13 +5,13 @@ use nvalloc::NvConfig;
 use nvalloc_workloads::allocators::create_custom;
 use nvalloc_workloads::{fragbench, threadtest, Reporter};
 
-use crate::experiments::{mib, pool_eadr_mb, pool_mb};
 use crate::experiments::motivation::frag_params;
+use crate::experiments::{mib, pool_eadr_mb, pool_mb};
 use crate::Scale;
 
 const STRIPE_SWEEP: [usize; 12] = [1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 24, 32];
 
-fn stripes_run(scale: &Scale, eadr: bool, threads: &[usize]) {
+fn stripes_run(scale: &Scale, slug: &str, eadr: bool, threads: &[usize]) {
     let mut headers = vec!["stripes".to_string()];
     headers.extend(threads.iter().map(|t| format!("{t} thr (ms)")));
     let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
@@ -29,6 +29,7 @@ fn stripes_run(scale: &Scale, eadr: bool, threads: &[usize]) {
             p.iterations = scale.ops(p.iterations, 2);
             p.objects = p.objects.min((1 << 19) / 8 / t.max(1)).max(16);
             let m = threadtest::run(&alloc, p);
+            scale.emit(&format!("{slug}/stripes={s}"), &m);
             row.push(format!("{:.2}", m.elapsed_ms()));
         }
         let rrefs: Vec<&str> = row.iter().map(|x| x.as_str()).collect();
@@ -40,13 +41,13 @@ fn stripes_run(scale: &Scale, eadr: bool, threads: &[usize]) {
 /// Fig. 16(a): stripes × threads on Threadtest (ADR).
 pub fn run_fig16a(scale: &Scale) {
     println!("\n== Fig 16a: bit-stripe sweep on Threadtest (ADR; lower is better) ==");
-    stripes_run(scale, false, &[1, 2, 4, 8, 16, 32]);
+    stripes_run(scale, "fig16a_stripes", false, &[1, 2, 4, 8, 16, 32]);
 }
 
 /// Fig. 19: stripes sweep on emulated eADR (expected flat).
 pub fn run_fig19(scale: &Scale) {
     println!("\n== Fig 19: bit-stripe sweep on Threadtest (eADR; expected flat) ==");
-    stripes_run(scale, true, &[4]);
+    stripes_run(scale, "fig19_stripes_eadr", true, &[4]);
 }
 
 /// Fig. 16(b): SU-threshold sweep on Fragbench W4.
@@ -57,6 +58,7 @@ pub fn run_fig16b(scale: &Scale) {
         let cfg = NvConfig::log().su_threshold(su);
         let alloc = create_custom(pool_mb(2048), cfg, 1 << 20);
         let r = fragbench::run(&alloc, fragbench::TABLE1[3], frag_params(scale));
+        scale.emit(&format!("fig16b_su_threshold/su={:.0}", su * 100.0), &r.measurement);
         rep.row(&[
             &format!("{:.0}", su * 100.0),
             &format!("{:.1}", r.measurement.elapsed_ms()),

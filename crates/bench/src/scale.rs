@@ -7,6 +7,11 @@
 //! per-operation (reflush distances, write locality, slab policy), so the
 //! shapes are scale-invariant.
 
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use nvalloc_workloads::BenchMeasurement;
+
 /// Scale factor and thread sweep for an experiment run.
 #[derive(Debug, Clone)]
 pub struct Scale {
@@ -14,11 +19,13 @@ pub struct Scale {
     pub factor: f64,
     /// Thread counts to sweep (paper: 1–64).
     pub threads: Vec<usize>,
+    /// Destination for machine-readable JSON-lines output (`--json`).
+    pub json: Option<PathBuf>,
 }
 
 impl Scale {
     /// Parse from `std::env::args`: `--quick` (×0.25), `--full` (×4),
-    /// `--threads a,b,c`.
+    /// `--threads a,b,c`, `--json <path>`.
     pub fn from_args() -> Scale {
         let args: Vec<String> = std::env::args().collect();
         let mut s = Scale::default();
@@ -38,7 +45,18 @@ impl Scale {
                         .map(|x| x.parse().expect("--threads takes a,b,c"))
                         .collect();
                 }
-                other => panic!("unknown flag {other} (try --quick/--full/--threads 1,2,4)"),
+                "--json" => {
+                    i += 1;
+                    let path = PathBuf::from(args.get(i).expect("--json takes an output path"));
+                    // Create/truncate up front so a failed run leaves an
+                    // empty file rather than a stale one.
+                    std::fs::File::create(&path)
+                        .unwrap_or_else(|e| panic!("--json {}: {e}", path.display()));
+                    s.json = Some(path);
+                }
+                other => panic!(
+                    "unknown flag {other} (try --quick/--full/--threads 1,2,4/--json out.jsonl)"
+                ),
             }
             i += 1;
         }
@@ -54,11 +72,24 @@ impl Scale {
     pub fn threads(&self) -> &[usize] {
         &self.threads
     }
+
+    /// Append one measurement as a JSON line to the `--json` file, if any.
+    ///
+    /// `bench` names the experiment (and sub-series, e.g.
+    /// `"fig09_small_strong"`); it lands in the record's `bench` field.
+    pub fn emit(&self, bench: &str, m: &BenchMeasurement) {
+        let Some(path) = &self.json else { return };
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("--json {}: {e}", path.display()));
+        writeln!(f, "{}", m.to_json(bench)).expect("write --json line");
+    }
 }
 
 impl Default for Scale {
     fn default() -> Scale {
-        Scale { factor: 1.0, threads: vec![1, 2, 4, 8, 16, 32, 64] }
+        Scale { factor: 1.0, threads: vec![1, 2, 4, 8, 16, 32, 64], json: None }
     }
 }
 
@@ -68,9 +99,25 @@ mod tests {
 
     #[test]
     fn scaling_respects_minimum() {
-        let s = Scale { factor: 0.001, threads: vec![1] };
+        let s = Scale { factor: 0.001, threads: vec![1], json: None };
         assert_eq!(s.ops(1000, 10), 10);
-        let s = Scale { factor: 2.0, threads: vec![1] };
+        let s = Scale { factor: 2.0, threads: vec![1], json: None };
         assert_eq!(s.ops(1000, 10), 2000);
+    }
+
+    #[test]
+    fn emit_without_json_path_is_a_noop() {
+        let s = Scale::default();
+        let m = BenchMeasurement {
+            allocator: "x".into(),
+            threads: 1,
+            ops: 0,
+            elapsed_ns: 0,
+            stats: Default::default(),
+            peak_mapped: 0,
+            mapped: 0,
+            metrics: Default::default(),
+        };
+        s.emit("noop", &m); // must not panic or touch the filesystem
     }
 }

@@ -17,6 +17,8 @@ use std::sync::Arc;
 
 use nvalloc_pmem::{PmOffset, PmResult, PmThread, PmemPool};
 
+use crate::telemetry::MetricsSnapshot;
+
 /// A persistent-memory allocator instance.
 pub trait PmAllocator: Send + Sync + Debug {
     /// Short display name ("NVAlloc-LOG", "PMDK", …).
@@ -47,6 +49,15 @@ pub trait PmAllocator: Send + Sync + Debug {
 
     /// Bytes handed out and not yet freed (rounded to class/extent sizes).
     fn live_bytes(&self) -> usize;
+
+    /// A snapshot of the allocator's internal telemetry counters and
+    /// op-latency histograms (see [`crate::telemetry`]). Allocators
+    /// without internal instrumentation — the baselines — return the
+    /// all-zero default, so callers can diff and serialize snapshots
+    /// uniformly across allocators.
+    fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
 
     /// Orderly shutdown (the paper's `nvalloc_exit()`): flush volatile
     /// state that recovery would otherwise have to reconstruct and mark

@@ -17,7 +17,6 @@ use std::sync::atomic::AtomicUsize;
 
 use parking_lot::Mutex;
 
-
 use nvalloc_pmem::{PmOffset, PmThread, PmemPool};
 
 use crate::geometry::GeometryTable;

@@ -129,6 +129,12 @@ pub struct BookLogStats {
     pub slow_gc_runs: u64,
     /// Live entries copied by slow GC.
     pub slow_gc_copied: u64,
+    /// Entries appended (normal, tombstone, and slow-GC copies alike).
+    pub appends: u64,
+    /// Tombstone entries appended by [`BookLog::delete`].
+    pub tombstones: u64,
+    /// Dual-chain head flips performed by slow GC.
+    pub alt_flips: u64,
 }
 
 /// The persistent bookkeeping log. All methods require external
@@ -214,13 +220,7 @@ impl BookLog {
         self.vchunks.values().map(|v| v.live as usize).sum()
     }
 
-    fn persist_header_word(
-        &self,
-        pool: &PmemPool,
-        t: &mut PmThread,
-        word_idx: u64,
-        value: u64,
-    ) {
+    fn persist_header_word(&self, pool: &PmemPool, t: &mut PmThread, word_idx: u64, value: u64) {
         pool.persist_u64(t, self.base + word_idx * 8, value, FlushKind::BookLog);
     }
 
@@ -319,6 +319,7 @@ impl BookLog {
         vc.set(slot);
         let epoch = vc.epoch;
         self.appends_since_fast_gc += 1;
+        self.stats.appends += 1;
         Ok(EntryRef { chunk, slot, epoch })
     }
 
@@ -333,6 +334,7 @@ impl BookLog {
             | (er.slot as u64) << 25
             | (er.epoch as u64) << 32;
         self.append_word(pool, t, word)?;
+        self.stats.tombstones += 1;
         if let Some(vc) = self.vchunks.get_mut(&er.chunk) {
             if vc.epoch == er.epoch && vc.is_set(er.slot) {
                 vc.clear(er.slot);
@@ -437,6 +439,7 @@ impl BookLog {
         self.tail = None;
         self.tail_fill = 0;
         self.alt ^= 1; // appends now target the other head pointer
+        self.stats.alt_flips += 1;
         let mut moves = HashMap::with_capacity(live.len());
         let mut append_err = None;
         for (old_ref, word) in &live {
@@ -809,8 +812,7 @@ mod tests {
         for i in 0..10u64 {
             log.append(&p, &mut t, entry(i << 12, 4096)).unwrap();
         }
-        let (mut log2, entries) =
-            BookLog::recover(&p, 0, 1 << 20, 6, false, usize::MAX);
+        let (mut log2, entries) = BookLog::recover(&p, 0, 1 << 20, 6, false, usize::MAX);
         assert_eq!(entries.len(), 10);
         let r = log2.append(&p, &mut t, entry(999 << 12, 4096)).unwrap();
         // Must not collide with an existing live entry.
@@ -850,9 +852,8 @@ mod proptests {
     /// Arbitrary append/delete/gc sequences preserve exactly the live
     /// entry set, both in the running log and across recovery.
     fn check(ops: &[(u8, u64)]) -> Result<(), TestCaseError> {
-        let pool = PmemPool::new(
-            PmemConfig::default().pool_size(8 << 20).latency_mode(LatencyMode::Off),
-        );
+        let pool =
+            PmemPool::new(PmemConfig::default().pool_size(8 << 20).latency_mode(LatencyMode::Off));
         let mut t = pool.register_thread();
         let mut log = BookLog::create(&pool, 0, 1 << 20, 6, true, usize::MAX);
         // Model: live normal entries by addr -> (ref, size).
@@ -861,7 +862,8 @@ mod proptests {
             match op % 3 {
                 0 | 1 => {
                     let addr = ((i as u64 + 1) << 12) % (1 << 30);
-                    let e = BookEntry { addr, size: 4096 * (1 + (x % 4) as u32), is_slab: op % 2 == 0 };
+                    let e =
+                        BookEntry { addr, size: 4096 * (1 + (x % 4) as u32), is_slab: op % 2 == 0 };
                     let r = log.append(&pool, &mut t, e).expect("append");
                     live.push((r, addr));
                 }

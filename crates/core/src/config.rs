@@ -81,6 +81,10 @@ pub struct NvConfig {
     /// Disable interleaving automatically when the pool is in eADR mode
     /// (the paper disables it via `pmem_has_auto_flush()`, §6.7).
     pub auto_eadr: bool,
+    /// Record internal telemetry (event counters and op-latency
+    /// histograms; see [`crate::telemetry`]). Recording is DRAM-side only
+    /// and never perturbs the PM cost model, so it defaults to on.
+    pub telemetry: bool,
 }
 
 impl NvConfig {
@@ -104,6 +108,7 @@ impl NvConfig {
             roots: 1 << 16,
             booklog_bytes: 4 << 20,
             auto_eadr: true,
+            telemetry: true,
         }
     }
 
@@ -194,6 +199,12 @@ impl NvConfig {
     /// Set the number of root slots.
     pub fn roots(mut self, n: usize) -> Self {
         self.roots = n;
+        self
+    }
+
+    /// Enable/disable internal telemetry recording.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
         self
     }
 

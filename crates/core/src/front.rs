@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use nvalloc_pmem::{FlushKind, PmError, PmOffset, PmResult, PmThread, PmemPool, PmemMode};
+use nvalloc_pmem::{FlushKind, PmError, PmOffset, PmResult, PmThread, PmemMode, PmemPool};
 
 use crate::api::{AllocThread, PmAllocator};
 use crate::arena::{arena_state, Arena};
@@ -32,6 +32,7 @@ use crate::rtree::{Owner, RTree};
 use crate::size_class::{class_size, size_to_class, ClassId, SLAB_SIZE};
 use crate::slab::{SlabHeader, VSlab};
 use crate::tcache::TCache;
+use crate::telemetry::{CoreMetrics, Counter, MetricsSnapshot, OpHistograms, OpKind, TcacheEvent};
 use crate::wal::{MicroWal, WalOp, WalRegion, MICRO_ENTRIES};
 
 /// Magic tag identifying an NVAlloc-formatted pool.
@@ -67,8 +68,7 @@ impl Layout {
         let region_table_bytes = 8 + 8 * max_regions;
         let booklog = crate::align_up64(region_table + region_table_bytes as u64, 64);
         let booklog_bytes = cfg.booklog_bytes.min(pool_size / 4).max(64 << 10);
-        let heap_base =
-            crate::align_up64(booklog + booklog_bytes as u64, SLAB_SIZE as u64);
+        let heap_base = crate::align_up64(booklog + booklog_bytes as u64, SLAB_SIZE as u64);
         if heap_base as usize + REGION_BYTES > pool_size {
             return Err(PmError::OutOfMemory { requested: REGION_BYTES });
         }
@@ -147,6 +147,7 @@ pub(crate) struct NvInner {
     pub rtree: Arc<RTree>,
     pub live_bytes: AtomicUsize,
     pub wal_seq: AtomicU64,
+    pub metrics: CoreMetrics,
 }
 
 impl std::fmt::Debug for NvInner {
@@ -184,8 +185,8 @@ impl NvAllocator {
 
         let arenas: Vec<Arc<Arena>> = (0..cfg.arenas)
             .map(|i| {
-                let wal_base = layout.wal_base
-                    + (i * WalRegion::region_bytes(layout.wal_micro_count)) as u64;
+                let wal_base =
+                    layout.wal_base + (i * WalRegion::region_bytes(layout.wal_micro_count)) as u64;
                 Arc::new(Arena::create(
                     &pool,
                     i as u32,
@@ -204,6 +205,7 @@ impl NvAllocator {
         pool.write_u64(16, cfg.roots as u64);
         pool.persist_u64(&mut t, 0, POOL_MAGIC, FlushKind::Meta);
 
+        let metrics = CoreMetrics::new(cfg.telemetry);
         Ok(NvAllocator(Arc::new(NvInner {
             pool,
             cfg,
@@ -214,6 +216,7 @@ impl NvAllocator {
             rtree,
             live_bytes: AtomicUsize::new(0),
             wal_seq: AtomicU64::new(1),
+            metrics,
         })))
     }
 
@@ -282,8 +285,8 @@ impl NvAllocator {
                 if let Some(m) = &vs.morph {
                     let old_bs = crate::size_class::class_size(m.old_class);
                     for e in m.index.iter().filter(|e| e.allocated) {
-                        let addr = vs.off
-                            + (m.old_data_offset + e.old_idx as usize * old_bs) as u64;
+                        let addr =
+                            vs.off + (m.old_data_offset + e.old_idx as usize * old_bs) as u64;
                         out.push((addr, old_bs));
                     }
                 }
@@ -328,17 +331,14 @@ impl PmAllocator for NvAllocator {
         arena.threads.fetch_add(1, Ordering::Relaxed);
         let micro_idx = arena.wal_next_micro.fetch_add(1, Ordering::Relaxed);
         let wal = arena.wal.micro(micro_idx, self.0.cfg.stripes_for(self.0.cfg.interleave_wal));
-        let tc_stripes = if self.0.cfg.interleave_tcache {
-            self.0.geoms.stripes()
-        } else {
-            1
-        };
+        let tc_stripes = if self.0.cfg.interleave_tcache { self.0.geoms.stripes() } else { 1 };
         Box::new(NvThread {
             inner: Arc::clone(&self.0),
             pm: self.0.pool.register_thread(),
             tcache: TCache::new(tc_stripes, self.0.cfg.tcache_cap),
             arena,
             wal,
+            hists: OpHistograms::default(),
         })
     }
 
@@ -364,6 +364,31 @@ impl PmAllocator for NvAllocator {
         self.0.live_bytes.load(Ordering::Relaxed)
     }
 
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut s = self.0.metrics.snapshot();
+        if self.0.metrics.enabled() {
+            // Booklog and extent counters live under the large-allocator
+            // lock; merge them into the snapshot here.
+            let large = self.0.large.lock();
+            if let Some(b) = large.booklog_stats() {
+                s.booklog_appends = b.appends;
+                s.booklog_tombstones = b.tombstones;
+                s.booklog_fast_gc_runs = b.fast_gc_runs;
+                s.booklog_fast_gc_reaps = b.fast_gc_chunks;
+                s.booklog_slow_gc_runs = b.slow_gc_runs;
+                s.booklog_slow_gc_copied = b.slow_gc_copied;
+                s.booklog_alt_flips = b.alt_flips;
+            }
+            let ls = large.stats();
+            s.extent_best_fit = ls.best_fit_hits;
+            s.extent_splits = ls.splits;
+            s.extent_coalesces = ls.coalesces;
+            s.decay_epochs = ls.decay_epochs;
+            s.hists.hists[OpKind::SlowGc.index()].merge(&ls.slow_gc_hist);
+        }
+        s
+    }
+
     fn exit(&self) {
         let pool = &self.0.pool;
         let mut t = pool.register_thread();
@@ -377,12 +402,7 @@ impl PmAllocator for NvAllocator {
             }
             a.set_state(pool, &mut t, arena_state::NORMAL_SHUTDOWN);
         }
-        pool.flush(
-            &mut t,
-            self.0.layout.roots,
-            self.0.layout.roots_count * 8,
-            FlushKind::Meta,
-        );
+        pool.flush(&mut t, self.0.layout.roots, self.0.layout.roots_count * 8, FlushKind::Meta);
         pool.fence(&mut t);
     }
 }
@@ -395,6 +415,9 @@ pub struct NvThread {
     tcache: TCache,
     arena: Arc<Arena>,
     wal: MicroWal,
+    /// Thread-local op-latency histograms; merged into the shared
+    /// registry when the thread drops.
+    hists: OpHistograms,
 }
 
 impl NvThread {
@@ -425,6 +448,15 @@ impl NvThread {
         self.inner.wal_seq.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Append one entry to this thread's micro-WAL with a fresh sequence
+    /// number, and count it.
+    fn wal_append(&mut self, op: WalOp, addr: PmOffset, dest: PmOffset, size: u32) {
+        let inner = Arc::clone(&self.inner);
+        let seq = self.next_seq();
+        self.wal.append(&inner.pool, &mut self.pm, op, addr, dest, size, seq);
+        inner.metrics.bump(Counter::WalAppends);
+    }
+
     /// Persist or plainly write the 8-byte destination slot, depending on
     /// the consistency variant and allocation size class. Attributed as
     /// `Data`: the destination is an application-owned location (§4.1), so
@@ -452,19 +484,20 @@ impl NvThread {
 
     fn malloc_small(&mut self, class: ClassId, size: usize, dest: PmOffset) -> PmResult<PmOffset> {
         let addr = match self.tcache.pop(class) {
-            Some(a) => a,
+            Some(a) => {
+                self.inner.metrics.tcache_event(class, TcacheEvent::Hit);
+                a
+            }
             None => {
+                self.inner.metrics.tcache_event(class, TcacheEvent::Miss);
                 self.refill(class)?;
-                self.tcache
-                    .pop(class)
-                    .ok_or(PmError::OutOfMemory { requested: size })?
+                self.tcache.pop(class).ok_or(PmError::OutOfMemory { requested: size })?
             }
         };
         let pool = Arc::clone(&self.inner.pool);
         let strong = self.strong();
         if self.use_small_wal() {
-            let seq = self.next_seq();
-            self.wal.append(&pool, &mut self.pm, WalOp::Alloc, addr, dest, size as u32, seq);
+            self.wal_append(WalOp::Alloc, addr, dest, size as u32);
         }
         // Persist the allocation in the slab bitmap.
         let slab_off = addr & !(SLAB_SIZE as u64 - 1);
@@ -488,35 +521,39 @@ impl NvThread {
     fn refill(&mut self, class: ClassId) -> PmResult<()> {
         let inner = &self.inner;
         let pool = &inner.pool;
+        inner.metrics.tcache_event(class, TcacheEvent::Refill);
         let mut ai = self.arena.inner.lock();
         if ai.fill_tcache(&inner.geoms, class, &mut self.tcache) > 0 {
             return Ok(());
         }
-        if inner.cfg.morphing
-            && morph::try_morph(
+        if inner.cfg.morphing {
+            let span = self.pm.span();
+            let morphed = morph::try_morph(
                 pool,
                 &mut self.pm,
                 &mut ai,
                 &inner.geoms,
                 inner.cfg.su_threshold,
                 class,
+                &inner.metrics,
             )
-            .is_some()
-            && ai.fill_tcache(&inner.geoms, class, &mut self.tcache) > 0
-        {
-            return Ok(());
+            .is_some();
+            if morphed {
+                self.hists.record(OpKind::Morph, span.elapsed_ns(&self.pm));
+                if ai.fill_tcache(&inner.geoms, class, &mut self.tcache) > 0 {
+                    return Ok(());
+                }
+            }
         }
         // New slab via a large allocation (64 KB aligned).
-        let (veh, off) = inner.large.lock().alloc_aligned(
-            pool,
-            &mut self.pm,
+        let (veh, off) =
+            inner.large.lock().alloc_aligned(pool, &mut self.pm, SLAB_SIZE, SLAB_SIZE, true)?;
+        inner.metrics.bump(Counter::SlabAllocs);
+        inner.rtree.insert_range(
+            off,
             SLAB_SIZE,
-            SLAB_SIZE,
-            true,
-        )?;
-        inner
-            .rtree
-            .insert_range(off, SLAB_SIZE, Owner::Slab { slab: off, arena: self.arena.id }.pack());
+            Owner::Slab { slab: off, arena: self.arena.id }.pack(),
+        );
         let vs = VSlab::create(pool, &mut self.pm, off, class, veh, inner.geoms.of(class), true);
         ai.add_slab(vs);
         ai.fill_tcache(&inner.geoms, class, &mut self.tcache);
@@ -533,23 +570,17 @@ impl NvThread {
         let inner = Arc::clone(&self.inner);
         let pool = &inner.pool;
         let strong = self.strong();
-        let arena = inner
-            .arenas
-            .get(arena_id as usize)
-            .ok_or(PmError::Corrupt("bad arena id in rtree"))?;
+        let arena =
+            inner.arenas.get(arena_id as usize).ok_or(PmError::Corrupt("bad arena id in rtree"))?;
         let mut ai = arena.inner.lock();
 
         // Old-class block of a morphing slab? Released directly, bypassing
         // the tcache (§5.2).
         if morph::find_old_block(&ai, slab_off, addr).is_some() {
-            let old_class = ai.slabs[&slab_off]
-                .morph
-                .as_ref()
-                .expect("morph state present")
-                .old_class;
+            let old_class =
+                ai.slabs[&slab_off].morph.as_ref().expect("morph state present").old_class;
             if self.use_small_wal() {
-                let seq = self.next_seq();
-                self.wal.append(pool, &mut self.pm, WalOp::Free, addr, dest, 0, seq);
+                self.wal_append(WalOp::Free, addr, dest, 0);
             }
             morph::release_old_block(pool, &mut self.pm, &mut ai, slab_off, addr)?;
             self.write_dest(dest, 0, strong);
@@ -567,8 +598,7 @@ impl NvThread {
             return Err(PmError::NotAllocated);
         }
         if self.use_small_wal() {
-            let seq = self.next_seq();
-            self.wal.append(pool, &mut self.pm, WalOp::Free, addr, dest, 0, seq);
+            self.wal_append(WalOp::Free, addr, dest, 0);
         }
         if strong {
             bm.clear_persist(pool, &mut self.pm, idx);
@@ -582,10 +612,12 @@ impl NvThread {
         // is full it returns to its slab directly, bypassing the cache
         // (§4.2).
         let stripe = g.bitmap.stripe_of(idx);
-        if !self.tcache.push(class, addr, stripe)
-            && ai.return_block_to_slab(slab_off, idx) {
+        if !self.tcache.push(class, addr, stripe) {
+            inner.metrics.tcache_event(class, TcacheEvent::Flush);
+            if ai.return_block_to_slab(slab_off, idx) {
                 self.maybe_destroy_slab(&mut ai, slab_off)?;
             }
+        }
         Ok(())
     }
 
@@ -601,6 +633,7 @@ impl NvThread {
             return Ok(());
         }
         let vs = ai.remove_slab(slab_off);
+        self.inner.metrics.bump(Counter::SlabRetires);
         // large.free re-registers nothing; it removes the range (which we
         // overwrote with a slab owner) from the rtree.
         self.inner.large.lock().free(&self.inner.pool, &mut self.pm, vs.veh)
@@ -618,8 +651,7 @@ impl NvThread {
         let mut large = inner.large.lock();
         let (veh, off) = large.alloc_deferred(pool, &mut self.pm, size)?;
         if self.use_large_wal() {
-            let seq = self.next_seq();
-            self.wal.append(pool, &mut self.pm, WalOp::Alloc, off, dest, size as u32, seq);
+            self.wal_append(WalOp::Alloc, off, dest, size as u32);
         }
         large.commit_extent(pool, &mut self.pm, veh)?;
         let actual = large.veh(veh).map(|v| v.size).unwrap_or(size);
@@ -629,7 +661,12 @@ impl NvThread {
         Ok(off)
     }
 
-    fn free_large(&mut self, veh: crate::large::VehId, addr: PmOffset, dest: PmOffset) -> PmResult<()> {
+    fn free_large(
+        &mut self,
+        veh: crate::large::VehId,
+        addr: PmOffset,
+        dest: PmOffset,
+    ) -> PmResult<()> {
         let inner = Arc::clone(&self.inner);
         let pool = &inner.pool;
         {
@@ -640,8 +677,7 @@ impl NvThread {
             }
         }
         if self.use_large_wal() {
-            let seq = self.next_seq();
-            self.wal.append(pool, &mut self.pm, WalOp::Free, addr, dest, 0, seq);
+            self.wal_append(WalOp::Free, addr, dest, 0);
         }
         self.write_dest(dest, 0, true);
         let mut large = inner.large.lock();
@@ -659,9 +695,22 @@ impl AllocThread for NvThread {
         if size == 0 {
             return Err(PmError::InvalidRequest("zero-size allocation"));
         }
+        let span = self.pm.span();
         match size_to_class(size) {
-            Some(class) => self.malloc_small(class, size, dest),
-            None => self.malloc_large(size, dest),
+            Some(class) => {
+                let r = self.malloc_small(class, size, dest);
+                if r.is_ok() {
+                    self.hists.record(OpKind::MallocSmall, span.elapsed_ns(&self.pm));
+                }
+                r
+            }
+            None => {
+                let r = self.malloc_large(size, dest);
+                if r.is_ok() {
+                    self.hists.record(OpKind::MallocLarge, span.elapsed_ns(&self.pm));
+                }
+                r
+            }
         }
     }
 
@@ -672,10 +721,15 @@ impl AllocThread for NvThread {
             return Err(PmError::NotAllocated);
         }
         let owner = self.inner.rtree.lookup(addr).ok_or(PmError::NotAllocated)?;
-        match Owner::unpack(owner) {
+        let span = self.pm.span();
+        let r = match Owner::unpack(owner) {
             Owner::Slab { slab, arena } => self.free_small(slab, arena, addr, dest),
             Owner::Extent { veh } => self.free_large(veh, addr, dest),
+        };
+        if r.is_ok() {
+            self.hists.record(OpKind::Free, span.elapsed_ns(&self.pm));
         }
+        r
     }
 
     fn flush_cache(&mut self) {
@@ -708,6 +762,8 @@ impl AllocThread for NvThread {
 impl Drop for NvThread {
     fn drop(&mut self) {
         self.flush_cache();
+        self.inner.metrics.add(Counter::CursorRotations, self.tcache.rotations());
+        self.inner.metrics.merge_hists(&self.hists);
         self.arena.threads.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -756,7 +812,9 @@ impl NvAllocator {
     pub fn slab_overhead_bytes(&self) -> usize {
         self.class_stats()
             .iter()
-            .map(|s| (s.slabs * crate::size_class::SLAB_SIZE).saturating_sub(s.allocated * s.block_size))
+            .map(|s| {
+                (s.slabs * crate::size_class::SLAB_SIZE).saturating_sub(s.allocated * s.block_size)
+            })
             .sum()
     }
 }
@@ -769,9 +827,8 @@ mod tests {
 
     #[test]
     fn class_stats_track_allocations() {
-        let pool = PmemPool::new(
-            PmemConfig::default().pool_size(32 << 20).latency_mode(LatencyMode::Off),
-        );
+        let pool =
+            PmemPool::new(PmemConfig::default().pool_size(32 << 20).latency_mode(LatencyMode::Off));
         let a = NvAllocator::create(pool, NvConfig::log()).unwrap();
         let mut t = a.thread();
         for i in 0..100 {

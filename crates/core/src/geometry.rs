@@ -45,8 +45,7 @@ impl SlabGeometry {
         let mut nblocks = (SLAB_SIZE - SLAB_FIXED_HEADER) / bs;
         loop {
             let bitmap = BitmapLayout::new(nblocks.max(1), stripes);
-            let data_offset =
-                (SLAB_FIXED_HEADER + bitmap.bytes()).next_multiple_of(CACHE_LINE);
+            let data_offset = (SLAB_FIXED_HEADER + bitmap.bytes()).next_multiple_of(CACHE_LINE);
             let fit = (SLAB_SIZE - data_offset) / bs;
             if fit >= nblocks {
                 return SlabGeometry {

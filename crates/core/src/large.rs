@@ -29,6 +29,26 @@ use nvalloc_pmem::{FlushKind, PmError, PmOffset, PmResult, PmThread, PmemPool};
 
 use crate::booklog::{BookEntry, BookLog, BookLogStats, EntryRef};
 use crate::rtree::{Owner, RTree};
+use crate::telemetry::LatencyHistogram;
+
+/// Volatile telemetry counters for the extent allocator (merged into
+/// [`crate::telemetry::MetricsSnapshot`] by the front end; recorded
+/// unconditionally since the allocator is already under its lock and the
+/// increments are plain integer adds).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LargeStats {
+    /// Allocations served best-fit from the reclaimed/retained lists.
+    pub best_fit_hits: u64,
+    /// Head/tail remainders produced by carving an extent.
+    pub splits: u64,
+    /// Merges with address-adjacent reclaimed neighbours on free.
+    pub coalesces: u64,
+    /// Decay-schedule ticks executed.
+    pub decay_epochs: u64,
+    /// Latency of booklog slow-GC passes on the triggering thread's
+    /// virtual clock.
+    pub slow_gc_hist: LatencyHistogram,
+}
 
 /// Page granularity of extent sizes and addresses.
 pub const PAGE: usize = 4096;
@@ -205,6 +225,7 @@ pub struct LargeAlloc {
     last_tick: Instant,
     mapped_bytes: usize,
     peak_mapped: usize,
+    stats: LargeStats,
 }
 
 impl LargeAlloc {
@@ -238,6 +259,7 @@ impl LargeAlloc {
             last_tick: Instant::now(),
             mapped_bytes: 0,
             peak_mapped: 0,
+            stats: LargeStats::default(),
         }
     }
 
@@ -259,9 +281,10 @@ impl LargeAlloc {
 
     /// Size of the active extent at exactly `off`, if any.
     pub fn veh_by_off(&self, off: PmOffset) -> Option<usize> {
-        self.by_addr.get(&off).and_then(|id| self.veh(*id)).and_then(|v| {
-            (v.state == ExtentState::Active).then_some(v.size)
-        })
+        self.by_addr
+            .get(&off)
+            .and_then(|id| self.veh(*id))
+            .and_then(|v| (v.state == ExtentState::Active).then_some(v.size))
     }
 
     /// Every active extent: (veh, offset, is_slab). Used by recovery GC.
@@ -278,6 +301,11 @@ impl LargeAlloc {
     /// Booklog GC statistics, if the booklog is in use.
     pub fn booklog_stats(&self) -> Option<BookLogStats> {
         self.booklog.as_ref().map(|b| b.stats())
+    }
+
+    /// Extent-allocator telemetry counters.
+    pub fn stats(&self) -> &LargeStats {
+        &self.stats
     }
 
     /// The shared address radix tree.
@@ -334,8 +362,8 @@ impl LargeAlloc {
                     h
                 }
             };
-            let slot_off = self.regions[region as usize].off
-                + (slot as usize * HDR_SLOT_BYTES) as u64;
+            let slot_off =
+                self.regions[region as usize].off + (slot as usize * HDR_SLOT_BYTES) as u64;
             pool.write_u64(slot_off, off);
             pool.write_u64(slot_off + 8, (size as u64) << 8 | (is_slab as u64) << 1 | 1);
             pool.charge_store(t, slot_off, HDR_SLOT_BYTES);
@@ -360,10 +388,8 @@ impl LargeAlloc {
         size: usize,
         value: u16,
     ) {
-        let Some(region) = self
-            .regions
-            .iter()
-            .find(|r| off >= r.off && off < r.off + REGION_BYTES as u64)
+        let Some(region) =
+            self.regions.iter().find(|r| off >= r.off && off < r.off + REGION_BYTES as u64)
         else {
             return; // direct mappings outside regions carry no chunk map
         };
@@ -405,7 +431,9 @@ impl LargeAlloc {
         if !needs {
             return Ok(());
         }
+        let span = t.span();
         let moves = self.booklog.as_mut().expect("booklog").slow_gc(pool, t)?;
+        self.stats.slow_gc_hist.record(span.elapsed_ns(t));
         for veh in self.vehs.iter_mut().flatten() {
             if let Some(er) = veh.book {
                 if let Some(new) = moves.get(&er) {
@@ -422,10 +450,8 @@ impl LargeAlloc {
     /// (metadata for an extent may then live in a foreign region — still a
     /// random in-place write, which is the behaviour under study).
     fn acquire_hdr_slot(&mut self, off: PmOffset) -> (u32, u16) {
-        let covering = self
-            .regions
-            .iter()
-            .position(|r| off >= r.off && off < r.off + REGION_BYTES as u64);
+        let covering =
+            self.regions.iter().position(|r| off >= r.off && off < r.off + REGION_BYTES as u64);
         let order: Vec<usize> = covering
             .into_iter()
             .chain((0..self.regions.len()).filter(|i| Some(*i) != covering))
@@ -451,11 +477,7 @@ impl LargeAlloc {
     fn map_range(&mut self, len: usize) -> PmResult<PmOffset> {
         debug_assert_eq!(len % PAGE, 0);
         // First fit over recycled ranges.
-        let found = self
-            .unmapped
-            .iter()
-            .find(|(_, l)| **l >= len)
-            .map(|(o, l)| (*o, *l));
+        let found = self.unmapped.iter().find(|(_, l)| **l >= len).map(|(o, l)| (*o, *l));
         if let Some((off, have)) = found {
             self.unmapped.remove(&off);
             if have > len {
@@ -613,6 +635,7 @@ impl LargeAlloc {
             .or_else(|| Self::best_fit_aligned(&self.retained, size, align).map(|k| (k, false)));
 
         let id = if let Some((key, was_reclaimed)) = candidate {
+            self.stats.best_fit_hits += 1;
             let id = if was_reclaimed {
                 self.reclaimed.remove(&key).expect("candidate present")
             } else {
@@ -680,6 +703,7 @@ impl LargeAlloc {
         let tail = have - head - size;
         // Reuse `id` for the body; re-key its address index if it moved.
         if head > 0 {
+            self.stats.splits += 1;
             self.by_addr.remove(&off);
             let head_id = self.new_veh(Veh {
                 off,
@@ -702,6 +726,7 @@ impl LargeAlloc {
             v.size = size;
         }
         if tail > 0 {
+            self.stats.splits += 1;
             let tail_off = body + size as u64;
             let tail_id = self.new_veh(Veh {
                 off: tail_off,
@@ -804,6 +829,7 @@ impl LargeAlloc {
                 id = pid;
                 off = po;
                 size = p.size;
+                self.stats.coalesces += 1;
             }
         }
         // Successor.
@@ -822,6 +848,7 @@ impl LargeAlloc {
                 self.drop_veh(sid);
                 let v = self.vehs[id as usize].as_mut().expect("live veh");
                 v.size += s_size;
+                self.stats.coalesces += 1;
             }
         }
         id
@@ -841,6 +868,7 @@ impl LargeAlloc {
     }
 
     fn decay_tick(&mut self, _pool: &PmemPool, _t: &mut PmThread, now: Instant) -> PmResult<()> {
+        self.stats.decay_epochs += 1;
         // Reclaimed → retained.
         let th = self.decay_reclaimed.threshold(now, self.cfg.decay_ms);
         while self.decay_reclaimed.bytes > th {
@@ -849,8 +877,7 @@ impl LargeAlloc {
             let Some(v) = self.vehs.get(id as usize).and_then(|v| v.as_ref()) else {
                 continue;
             };
-            if v.state != ExtentState::Reclaimed || !self.reclaimed.contains_key(&(v.size, v.off))
-            {
+            if v.state != ExtentState::Reclaimed || !self.reclaimed.contains_key(&(v.size, v.off)) {
                 continue;
             }
             let (off, size) = (v.off, v.size);
@@ -933,8 +960,7 @@ impl LargeAlloc {
             let n = pool.read_u64(la.cfg.region_table_base);
             for r in 1..=n {
                 let roff = pool.read_u64(la.cfg.region_table_base + r * 8);
-                let mut region =
-                    HdrRegion { off: roff, next_slot: 0, free_slots: Vec::new() };
+                let mut region = HdrRegion { off: roff, next_slot: 0, free_slots: Vec::new() };
                 let slots = HDR_SLOTS_BYTES / HDR_SLOT_BYTES;
                 for s in 0..slots {
                     let slot_off = roff + (s * HDR_SLOT_BYTES) as u64;
@@ -1027,8 +1053,7 @@ impl LargeAlloc {
         for (idx, v) in la.vehs.iter().enumerate() {
             let Some(v) = v else { continue };
             if v.state == ExtentState::Active {
-                la.rtree
-                    .insert_range(v.off, v.size, Owner::Extent { veh: idx as VehId }.pack());
+                la.rtree.insert_range(v.off, v.size, Owner::Extent { veh: idx as VehId }.pack());
                 out.push(RecoveredExtent {
                     veh: idx as VehId,
                     off: v.off,
@@ -1059,6 +1084,7 @@ impl LargeAlloc {
             last_tick: Instant::now(),
             mapped_bytes: 0,
             peak_mapped: 0,
+            stats: LargeStats::default(),
         }
     }
 
@@ -1079,9 +1105,8 @@ mod tests {
     use nvalloc_pmem::{LatencyMode, PmemConfig};
 
     fn setup(log_mode: bool) -> (Arc<PmemPool>, LargeAlloc, PmThread) {
-        let pool = PmemPool::new(
-            PmemConfig::default().pool_size(80 << 20).latency_mode(LatencyMode::Off),
-        );
+        let pool =
+            PmemPool::new(PmemConfig::default().pool_size(80 << 20).latency_mode(LatencyMode::Off));
         let t = pool.register_thread();
         let cfg = LargeConfig {
             heap_base: 2 << 20,

@@ -62,6 +62,7 @@ mod rtree;
 mod size_class;
 mod slab;
 mod tcache;
+pub mod telemetry;
 mod wal;
 
 pub use config::{NvConfig, Variant};
@@ -78,8 +79,8 @@ pub mod internals {
     pub use crate::geometry::{GeometryTable, SlabGeometry, SLAB_FIXED_HEADER};
     pub use crate::interleave::Interleave;
     pub use crate::large::{
-        smootherstep, ExtentState, LargeAlloc, LargeConfig, RecoveredExtent, Veh, VehId, HUGE_MIN,
-        PAGE, REGION_BYTES, REGION_HEADER_BYTES,
+        smootherstep, ExtentState, LargeAlloc, LargeConfig, LargeStats, RecoveredExtent, Veh,
+        VehId, HUGE_MIN, PAGE, REGION_BYTES, REGION_HEADER_BYTES,
     };
     pub use crate::rtree::{Owner, RTree};
     pub use crate::size_class::CLASS_SIZES;

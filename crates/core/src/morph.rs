@@ -27,6 +27,7 @@ use crate::size_class::{class_size, ClassId};
 use crate::slab::{
     flag, header_word1, persist_flag, persist_index_entry, IndexEntry, MorphState, NO_OLD_CLASS,
 };
+use crate::telemetry::{CoreMetrics, Counter};
 
 /// Geometry of a morph target, computed before committing to the transform.
 #[derive(Debug, Clone)]
@@ -67,20 +68,32 @@ pub fn try_morph(
     geoms: &GeometryTable,
     su_threshold: f64,
     new_class: ClassId,
+    metrics: &CoreMetrics,
 ) -> Option<PmOffset> {
-    let plan = find_candidate(pool, inner, geoms, su_threshold, new_class)?;
-    apply(pool, t, inner, geoms, new_class, plan)
+    let (examined, plan) = find_candidate(pool, inner, geoms, su_threshold, new_class);
+    metrics.add(Counter::MorphCandidates, examined);
+    let plan = plan?;
+    metrics.bump(Counter::MorphStarted);
+    let done = apply(pool, t, inner, geoms, new_class, plan);
+    if done.is_some() {
+        metrics.bump(Counter::MorphCompleted);
+    }
+    done
 }
 
+/// Scan the LRU list for a morphable slab. Returns the number of slabs
+/// examined alongside the plan (telemetry).
 fn find_candidate(
     pool: &PmemPool,
     inner: &ArenaInner,
     geoms: &GeometryTable,
     su_threshold: f64,
     new_class: ClassId,
-) -> Option<MorphPlan> {
+) -> (u64, Option<MorphPlan>) {
+    let mut examined = 0u64;
     // LRU scan, least recently used first (§5.2).
     for (_, &off) in inner.lru.iter() {
+        examined += 1;
         let vs = &inner.slabs[&off];
         if vs.class == new_class || vs.morph.is_some() {
             continue;
@@ -92,17 +105,12 @@ fn find_candidate(
         // parked in tcaches make the slab ineligible (their space may be
         // handed out at any moment without taking the arena lock).
         let pbm = vs.pbitmap(geoms);
-        let live: Vec<u16> = pbm
-            .scan_set(pool)
-            .into_iter()
-            .filter(|&i| i < vs.nblocks)
-            .map(|i| i as u16)
-            .collect();
+        let live: Vec<u16> =
+            pbm.scan_set(pool).into_iter().filter(|&i| i < vs.nblocks).map(|i| i as u16).collect();
         if live.len() != vs.nblocks - vs.nfree {
             continue; // tcache-cached blocks present
         }
-        let (index_off, new_data_offset, new_nblocks) =
-            plan_layout(geoms, new_class, live.len());
+        let (index_off, new_data_offset, new_nblocks) = plan_layout(geoms, new_class, live.len());
         if new_nblocks == 0 {
             continue;
         }
@@ -117,17 +125,20 @@ fn find_candidate(
         if overlaps {
             continue;
         }
-        return Some(MorphPlan {
-            slab: off,
-            old_class: vs.class,
-            old_data_offset: vs.data_offset,
-            live,
-            index_off,
-            new_data_offset,
-            new_nblocks,
-        });
+        return (
+            examined,
+            Some(MorphPlan {
+                slab: off,
+                old_class: vs.class,
+                old_data_offset: vs.data_offset,
+                live,
+                index_off,
+                new_data_offset,
+                new_nblocks,
+            }),
+        );
     }
-    None
+    (examined, None)
 }
 
 /// Execute the three-step transform and rebuild the volatile state.
@@ -144,14 +155,8 @@ fn apply(
     let index_len = plan.live.len() as u16;
 
     // Step 1: save old layout fields.
-    pool.write_u64(
-        off + 8,
-        header_word1(plan.old_data_offset as u32, old_class, index_len),
-    );
-    pool.write_u64(
-        off + 16,
-        plan.old_data_offset as u64 | (plan.index_off as u64) << 32,
-    );
+    pool.write_u64(off + 8, header_word1(plan.old_data_offset as u32, old_class, index_len));
+    pool.write_u64(off + 16, plan.old_data_offset as u64 | (plan.index_off as u64) << 32);
     pool.charge_store(t, off + 8, 16);
     pool.flush(t, off + 8, 16, FlushKind::Meta);
     pool.fence(t);
@@ -176,10 +181,7 @@ fn apply(
     let g = geoms.of(new_class);
     let new_bm = crate::bitmap::PmBitmap::new(off + g.bitmap_off as u64, g.bitmap);
     new_bm.clear_all(pool);
-    pool.write_u64(
-        off + 8,
-        header_word1(plan.new_data_offset as u32, old_class, index_len),
-    );
+    pool.write_u64(off + 8, header_word1(plan.new_data_offset as u32, old_class, index_len));
     pool.charge_store(t, off + 8, 8 + g.bitmap.bytes());
     pool.flush(t, off + g.bitmap_off as u64, g.bitmap.bytes(), FlushKind::Meta);
     pool.flush(t, off + 8, 8, FlushKind::Meta);
@@ -211,11 +213,7 @@ fn apply(
         old_class: old_class_id,
         old_data_offset: plan.old_data_offset,
         index_off: plan.index_off,
-        index: plan
-            .live
-            .iter()
-            .map(|&i| IndexEntry { old_idx: i, allocated: true })
-            .collect(),
+        index: plan.live.iter().map(|&i| IndexEntry { old_idx: i, allocated: true }).collect(),
         cnt_slab,
         cnt_block: cnt_block.clone(),
     });
@@ -229,13 +227,7 @@ fn apply(
     Some(off)
 }
 
-fn mark_overlaps(
-    cnt_block: &mut [u16],
-    new_doff: usize,
-    new_bs: usize,
-    start: usize,
-    end: usize,
-) {
+fn mark_overlaps(cnt_block: &mut [u16], new_doff: usize, new_bs: usize, start: usize, end: usize) {
     if end <= new_doff || cnt_block.is_empty() {
         return;
     }
@@ -261,10 +253,7 @@ pub fn find_old_block(
         return None;
     }
     let old_idx = (rel / old_bs) as u16;
-    m.index
-        .iter()
-        .position(|e| e.old_idx == old_idx && e.allocated)
-        .map(|pos| (pos, old_idx))
+    m.index.iter().position(|e| e.old_idx == old_idx && e.allocated).map(|pos| (pos, old_idx))
 }
 
 /// Release a live old-class block (blocks released this way bypass the
@@ -387,7 +376,8 @@ mod tests {
         let small = size_to_class(100).unwrap();
         let big = size_to_class(1500).unwrap();
         let (mut inner, _) = arena_with_slab(&p, &mut t, &g, small, &[]);
-        let off = try_morph(&p, &mut t, &mut inner, &g, 0.2, big).expect("morphs");
+        let off = try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &CoreMetrics::new(true))
+            .expect("morphs");
         assert_eq!(off, 0);
         let vs = &inner.slabs[&0];
         assert_eq!(vs.class, big);
@@ -414,7 +404,7 @@ mod tests {
         let nb = g.of(small).nblocks;
         let live = [nb / 2, nb / 2 + 4, nb / 2 + 8];
         let (mut inner, addrs) = arena_with_slab(&p, &mut t, &g, small, &live);
-        try_morph(&p, &mut t, &mut inner, &g, 0.2, big).expect("morphs");
+        try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &CoreMetrics::new(true)).expect("morphs");
         let vs = &inner.slabs[&0];
         let m = vs.morph.as_ref().unwrap();
         assert_eq!(m.cnt_slab, 3);
@@ -423,10 +413,8 @@ mod tests {
         let blocked: usize = m.cnt_block.iter().filter(|&&c| c > 0).count();
         assert!(blocked >= 1);
         // New allocations never land on a live old block.
-        let old_ranges: Vec<(u64, u64)> = addrs
-            .iter()
-            .map(|&a| (a, a + class_size(small) as u64))
-            .collect();
+        let old_ranges: Vec<(u64, u64)> =
+            addrs.iter().map(|&a| (a, a + class_size(small) as u64)).collect();
         let mut scratch = inner.slabs.get_mut(&0).unwrap();
         let mut handed = Vec::new();
         while let Some(i) = scratch.take_block() {
@@ -452,7 +440,7 @@ mod tests {
         // 30% occupancy > SU=20%.
         let live: Vec<usize> = (0..(nb * 3 / 10)).map(|k| nb - 1 - k).collect();
         let (mut inner, _) = arena_with_slab(&p, &mut t, &g, small, &live);
-        assert!(try_morph(&p, &mut t, &mut inner, &g, 0.2, big).is_none());
+        assert!(try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &CoreMetrics::new(true)).is_none());
     }
 
     #[test]
@@ -468,7 +456,7 @@ mod tests {
         let mut tc = TCache::new(6, 8);
         inner.fill_tcache(&g, small, &mut tc);
         assert!(
-            try_morph(&p, &mut t, &mut inner, &g, 0.2, big).is_none(),
+            try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &CoreMetrics::new(true)).is_none(),
             "slab with tcache-cached blocks must be ineligible"
         );
     }
@@ -483,7 +471,7 @@ mod tests {
         // Block 0 sits right after the old header — inside the new header
         // area (which is at least as large).
         let (mut inner, _) = arena_with_slab(&p, &mut t, &g, small, &[0]);
-        assert!(try_morph(&p, &mut t, &mut inner, &g, 0.2, big).is_none());
+        assert!(try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &CoreMetrics::new(true)).is_none());
     }
 
     #[test]
@@ -496,7 +484,7 @@ mod tests {
         let nb = g.of(small).nblocks;
         let live = [nb - 1, nb - 3];
         let (mut inner, addrs) = arena_with_slab(&p, &mut t, &g, small, &live);
-        try_morph(&p, &mut t, &mut inner, &g, 0.2, big).unwrap();
+        try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &CoreMetrics::new(true)).unwrap();
 
         assert!(find_old_block(&inner, 0, addrs[0]).is_some());
         let done = release_old_block(&p, &mut t, &mut inner, 0, addrs[0]).unwrap();
@@ -524,7 +512,7 @@ mod tests {
         let big = size_to_class(1200).unwrap();
         let nb = g.of(small).nblocks;
         let (mut inner, addrs) = arena_with_slab(&p, &mut t, &g, small, &[nb / 2]);
-        try_morph(&p, &mut t, &mut inner, &g, 0.2, big).unwrap();
+        try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &CoreMetrics::new(true)).unwrap();
         let free_before = inner.slabs[&0].nfree;
         release_old_block(&p, &mut t, &mut inner, 0, addrs[0]).unwrap();
         let free_after = inner.slabs[&0].nfree;
@@ -547,7 +535,7 @@ mod tests {
         let big = size_to_class(1200).unwrap();
         let nb = g.of(small).nblocks;
         let (mut inner, _) = arena_with_slab(&p, &mut t, &g, small, &[nb - 1]);
-        try_morph(&p, &mut t, &mut inner, &g, 0.2, big).unwrap();
+        try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &CoreMetrics::new(true)).unwrap();
         let img = PmemPool::from_crash_image(p.crash());
         let h = SlabHeader::read(&img, 0).unwrap();
         assert_eq!(h.flag, flag::NONE);
@@ -561,13 +549,31 @@ mod tests {
     }
 
     #[test]
+    fn morph_progress_is_counted() {
+        let p = pool();
+        let mut t = p.register_thread();
+        let g = GeometryTable::new(6);
+        let small = size_to_class(100).unwrap();
+        let big = size_to_class(1500).unwrap();
+        let (mut inner, _) = arena_with_slab(&p, &mut t, &g, small, &[]);
+        let m = CoreMetrics::new(true);
+        try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &m).expect("morphs");
+        let s = m.snapshot();
+        assert!(s.morph_candidates >= 1);
+        assert_eq!(s.morph_started, 1);
+        assert_eq!(s.morph_completed, 1);
+    }
+
+    #[test]
     fn same_class_is_never_a_candidate() {
         let p = pool();
         let mut t = p.register_thread();
         let g = GeometryTable::new(6);
         let small = size_to_class(100).unwrap();
         let (mut inner, _) = arena_with_slab(&p, &mut t, &g, small, &[]);
-        assert!(try_morph(&p, &mut t, &mut inner, &g, 0.2, small).is_none());
+        assert!(
+            try_morph(&p, &mut t, &mut inner, &g, 0.2, small, &CoreMetrics::new(true)).is_none()
+        );
     }
 
     #[test]
@@ -579,7 +585,8 @@ mod tests {
         let small = size_to_class(100).unwrap();
         let nb = g.of(big).nblocks;
         let (mut inner, addrs) = arena_with_slab(&p, &mut t, &g, big, &[nb - 1]);
-        try_morph(&p, &mut t, &mut inner, &g, 0.3, small).expect("downward morph works");
+        try_morph(&p, &mut t, &mut inner, &g, 0.3, small, &CoreMetrics::new(true))
+            .expect("downward morph works");
         let vs = &inner.slabs[&0];
         assert_eq!(vs.class, small);
         // Many small blocks are blocked by the one big old block.

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use nvalloc_pmem::{FlushKind, PmError, PmOffset, PmResult, PmemPool};
+use nvalloc_pmem::{FlushKind, PmError, PmOffset, PmResult, PmThread, PmemPool};
 
 use crate::arena::{arena_state, Arena};
 use crate::bitmap::PmBitmap;
@@ -32,9 +32,10 @@ use crate::large::{LargeAlloc, RecoveredExtent, VehId};
 use crate::rtree::{Owner, RTree};
 use crate::size_class::{class_size, SLAB_SIZE};
 use crate::slab::{
-    flag, header_word1, persist_flag, read_index_entry, IndexEntry, MorphState, SlabHeader,
-    VSlab, NO_OLD_CLASS,
+    flag, header_word1, persist_flag, read_index_entry, IndexEntry, MorphState, SlabHeader, VSlab,
+    NO_OLD_CLASS,
 };
+use crate::telemetry::{CoreMetrics, Counter, OpKind};
 use crate::wal::{WalEntry, WalOp, WalRegion};
 
 pub(crate) fn recover(
@@ -63,8 +64,7 @@ pub(crate) fn recover(
             ))
         })
         .collect();
-    report.normal_shutdown =
-        arenas.iter().all(|a| a.state(&pool) == arena_state::NORMAL_SHUTDOWN);
+    report.normal_shutdown = arenas.iter().all(|a| a.state(&pool) == arena_state::NORMAL_SHUTDOWN);
     for a in &arenas {
         a.set_state(&pool, &mut t, arena_state::RECOVERY);
     }
@@ -107,10 +107,28 @@ pub(crate) fn recover(
     if !report.normal_shutdown {
         match cfg.variant {
             Variant::Log => {
-                replay_wals(&pool, &cfg, &layout, &geoms, &arenas, &mut large, &mut vslabs, &mut report)?;
+                replay_wals(
+                    &pool,
+                    &mut t,
+                    &cfg,
+                    &layout,
+                    &geoms,
+                    &arenas,
+                    &mut large,
+                    &mut vslabs,
+                    &mut report,
+                )?;
             }
             Variant::Gc => {
-                conservative_gc(&pool, &layout, &geoms, &mut large, &mut vslabs, &mut report)?;
+                conservative_gc(
+                    &pool,
+                    &mut t,
+                    &layout,
+                    &geoms,
+                    &mut large,
+                    &mut vslabs,
+                    &mut report,
+                )?;
             }
             Variant::Internal => {
                 // Internal collection: the persisted bitmaps and booklog
@@ -129,8 +147,7 @@ pub(crate) fn recover(
         if let Some(m) = &vs.morph {
             live_bytes += m.cnt_slab * class_size(m.old_class);
             // Blocks withheld by cnt_block are not live allocations.
-            let withheld: usize =
-                m.cnt_block.iter().take(vs.nblocks).filter(|&&c| c > 0).count();
+            let withheld: usize = m.cnt_block.iter().take(vs.nblocks).filter(|&&c| c > 0).count();
             live_bytes -= withheld.min(vs.nblocks - vs.nfree) * class_size(vs.class);
         }
         let arena = &arenas[i % cfg.arenas];
@@ -148,16 +165,20 @@ pub(crate) fn recover(
     }
 
     // Highest surviving WAL sequence so new entries keep winning replays.
-    let max_seq = arenas
-        .iter()
-        .flat_map(|a| a.wal.replay_entries(&pool))
-        .map(|e| e.seq)
-        .max()
-        .unwrap_or(0);
+    let max_seq =
+        arenas.iter().flat_map(|a| a.wal.replay_entries(&pool)).map(|e| e.seq).max().unwrap_or(0);
 
     for a in &arenas {
         a.set_state(&pool, &mut t, arena_state::RUNNING);
     }
+
+    // Telemetry: the whole recovery ran on `t`'s virtual clock (the WAL
+    // replay and conservative-GC passes share it), so its reading is the
+    // modelled recovery latency.
+    let metrics = CoreMetrics::new(cfg.telemetry);
+    metrics.add(Counter::WalReplays, report.wal_replayed as u64);
+    metrics.add(Counter::MorphUndone, report.morphs_resolved as u64);
+    metrics.record_hist(OpKind::Recovery, t.virtual_ns());
 
     let alloc = NvAllocator(Arc::new(NvInner {
         pool,
@@ -169,6 +190,7 @@ pub(crate) fn recover(
         rtree,
         live_bytes: AtomicUsize::new(live_bytes),
         wal_seq: AtomicU64::new(max_seq + 1),
+        metrics,
     }));
     Ok((alloc, report))
 }
@@ -275,6 +297,7 @@ fn recover_slab(
 #[allow(clippy::too_many_arguments)]
 fn replay_wals(
     pool: &PmemPool,
+    t: &mut PmThread,
     cfg: &NvConfig,
     layout: &Layout,
     geoms: &GeometryTable,
@@ -284,7 +307,6 @@ fn replay_wals(
     report: &mut RecoveryReport,
 ) -> PmResult<()> {
     let _ = (cfg, layout);
-    let mut t = pool.register_thread();
     let mut entries: Vec<WalEntry> =
         arenas.iter().flat_map(|a| a.wal.replay_entries(pool)).collect();
     entries.sort_by_key(|e| e.seq);
@@ -312,7 +334,7 @@ fn replay_wals(
                         if m.index[pos].allocated != should_be_live {
                             crate::slab::persist_index_entry(
                                 pool,
-                                &mut t,
+                                t,
                                 slab_off,
                                 m.index_off as u32,
                                 pos,
@@ -321,7 +343,12 @@ fn replay_wals(
                             m.index[pos].allocated = should_be_live;
                             report.leaks_fixed += 1;
                             // cnt fields are rebuilt below from the index.
-                            rebuild_counts(vs.morph.as_mut().expect("morph"), vs.data_offset, class_size(vs.class), vs.nblocks);
+                            rebuild_counts(
+                                vs.morph.as_mut().expect("morph"),
+                                vs.data_offset,
+                                class_size(vs.class),
+                                vs.nblocks,
+                            );
                         }
                         continue;
                     }
@@ -332,25 +359,23 @@ fn replay_wals(
             let bm = PmBitmap::new(slab_off + g.bitmap_off as u64, g.bitmap);
             if bm.get(pool, idx) != should_be_live {
                 if should_be_live {
-                    bm.set_persist(pool, &mut t, idx);
+                    bm.set_persist(pool, t, idx);
                 } else {
-                    bm.clear_persist(pool, &mut t, idx);
+                    bm.clear_persist(pool, t, idx);
                 }
                 report.leaks_fixed += 1;
             }
             if matches!(e.op, WalOp::Free) && committed_alloc {
                 // The free never finished clearing the destination.
-                pool.persist_u64(&mut t, e.dest, 0, FlushKind::Meta);
+                pool.persist_u64(t, e.dest, 0, FlushKind::Meta);
             }
-        } else if let Some(Owner::Extent { veh }) =
-            large_owner_of(large, e.addr)
-        {
+        } else if let Some(Owner::Extent { veh }) = large_owner_of(large, e.addr) {
             let should_be_live = matches!(e.op, WalOp::Alloc) && committed_alloc;
             if !should_be_live {
                 if matches!(e.op, WalOp::Free) && committed_alloc {
-                    pool.persist_u64(&mut t, e.dest, 0, FlushKind::Meta);
+                    pool.persist_u64(t, e.dest, 0, FlushKind::Meta);
                 }
-                if large.free(pool, &mut t, veh).is_ok() {
+                if large.free(pool, t, veh).is_ok() {
                     report.leaks_fixed += 1;
                 }
             }
@@ -391,13 +416,13 @@ fn rebuild_counts(m: &mut MorphState, data_offset: usize, bs: usize, nblocks: us
 /// following Makalu).
 fn conservative_gc(
     pool: &PmemPool,
+    t: &mut PmThread,
     layout: &Layout,
     geoms: &GeometryTable,
     large: &mut LargeAlloc,
     vslabs: &mut [VSlab],
     report: &mut RecoveryReport,
 ) -> PmResult<()> {
-    let mut t = pool.register_thread();
     let by_slab: HashMap<PmOffset, usize> =
         vslabs.iter().enumerate().map(|(i, v)| (v.off, i)).collect();
 
@@ -405,44 +430,45 @@ fn conservative_gc(
     let mut marked: HashSet<PmOffset> = HashSet::new();
     let mut queue: VecDeque<(PmOffset, usize)> = VecDeque::new(); // (block start, len)
 
-    let push_candidate = |p: PmOffset,
-                              marked: &mut HashSet<PmOffset>,
-                              queue: &mut VecDeque<(PmOffset, usize)>| {
-        if p == 0 || p as usize >= pool.size() {
-            return false;
-        }
-        let slab_off = p & !(SLAB_SIZE as u64 - 1);
-        if let Some(&vi) = by_slab.get(&slab_off) {
-            let vs = &vslabs[vi];
-            // New-class block start?
-            if let Some(_idx) = vs.block_index(p) {
-                if marked.insert(p) {
-                    queue.push_back((p, vs.block_size()));
-                    return true;
-                }
+    let push_candidate =
+        |p: PmOffset, marked: &mut HashSet<PmOffset>, queue: &mut VecDeque<(PmOffset, usize)>| {
+            if p == 0 || p as usize >= pool.size() {
                 return false;
             }
-            // Live old-class block start?
-            if let Some(m) = &vs.morph {
-                let old_bs = class_size(m.old_class) as u64;
-                let rel = p.wrapping_sub(slab_off + m.old_data_offset as u64);
-                if rel.is_multiple_of(old_bs) && m.index.iter().any(|e| e.old_idx as u64 == rel / old_bs)
-                    && marked.insert(p) {
+            let slab_off = p & !(SLAB_SIZE as u64 - 1);
+            if let Some(&vi) = by_slab.get(&slab_off) {
+                let vs = &vslabs[vi];
+                // New-class block start?
+                if let Some(_idx) = vs.block_index(p) {
+                    if marked.insert(p) {
+                        queue.push_back((p, vs.block_size()));
+                        return true;
+                    }
+                    return false;
+                }
+                // Live old-class block start?
+                if let Some(m) = &vs.morph {
+                    let old_bs = class_size(m.old_class) as u64;
+                    let rel = p.wrapping_sub(slab_off + m.old_data_offset as u64);
+                    if rel.is_multiple_of(old_bs)
+                        && m.index.iter().any(|e| e.old_idx as u64 == rel / old_bs)
+                        && marked.insert(p)
+                    {
                         queue.push_back((p, old_bs as usize));
                         return true;
                     }
+                }
+                return false;
             }
-            return false;
-        }
-        if let Some(Owner::Extent { veh }) = large_owner_of(large, p) {
-            let size = large.veh(veh).expect("validated").size;
-            if marked.insert(p) {
-                queue.push_back((p, size));
-                return true;
+            if let Some(Owner::Extent { veh }) = large_owner_of(large, p) {
+                let size = large.veh(veh).expect("validated").size;
+                if marked.insert(p) {
+                    queue.push_back((p, size));
+                    return true;
+                }
             }
-        }
-        false
-    };
+            false
+        };
 
     // Roots.
     for i in 0..layout.roots_count {
@@ -484,12 +510,13 @@ fn conservative_gc(
                 if !e.allocated {
                     continue;
                 }
-                let addr = off + (m.old_data_offset + e.old_idx as usize * class_size(m.old_class)) as u64;
+                let addr =
+                    off + (m.old_data_offset + e.old_idx as usize * class_size(m.old_class)) as u64;
                 if !marked.contains(&addr) {
                     m.index[pos].allocated = false;
                     crate::slab::persist_index_entry(
                         pool,
-                        &mut t,
+                        t,
                         off,
                         m.index_off as u32,
                         pos,
@@ -500,9 +527,9 @@ fn conservative_gc(
             }
             rebuild_counts(m, doff, bs, nblocks);
         }
-        pool.flush(&mut t, vs.off, vs.data_offset, FlushKind::Meta);
+        pool.flush(t, vs.off, vs.data_offset, FlushKind::Meta);
     }
-    pool.fence(&mut t);
+    pool.fence(t);
 
     // Free unreachable non-slab extents.
     let unreachable: Vec<VehId> = large_active_nonslab(large)
@@ -511,7 +538,7 @@ fn conservative_gc(
         .map(|(veh, _)| veh)
         .collect();
     for veh in unreachable {
-        if large.free(pool, &mut t, veh).is_ok() {
+        if large.free(pool, t, veh).is_ok() {
             report.leaks_fixed += 1;
         }
     }
@@ -520,13 +547,17 @@ fn conservative_gc(
         let slot = layout.roots + (i * 8) as u64;
         let p = pool.read_u64(slot);
         if p != 0 && !marked.contains(&p) {
-            pool.persist_u64(&mut t, slot, 0, FlushKind::Meta);
+            pool.persist_u64(t, slot, 0, FlushKind::Meta);
         }
     }
     Ok(())
 }
 
 fn large_active_nonslab(large: &LargeAlloc) -> Vec<(VehId, PmOffset)> {
-    large.active_extents().into_iter().filter(|(_, _, is_slab)| !*is_slab).map(|(v, o, _)| (v, o)).collect()
+    large
+        .active_extents()
+        .into_iter()
+        .filter(|(_, _, is_slab)| !*is_slab)
+        .map(|(v, o, _)| (v, o))
+        .collect()
 }
-

@@ -356,7 +356,6 @@ pub fn persist_index_entry(
     pool.fence(t);
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,6 +36,10 @@ pub struct TCache {
     bins: Vec<Bin>,
     cap: usize,
     stripes: usize,
+    /// Cursor rotations performed by [`TCache::pop`] in the interleaved
+    /// layout (telemetry; merged into the allocator registry on thread
+    /// exit).
+    rotations: u64,
 }
 
 impl TCache {
@@ -47,7 +51,13 @@ impl TCache {
             bins: (0..NUM_CLASSES).map(|_| Bin::new(stripes)).collect(),
             cap: cap.max(1),
             stripes,
+            rotations: 0,
         }
+    }
+
+    /// Cursor rotations performed so far (0 in the flat layout).
+    pub fn rotations(&self) -> u64 {
+        self.rotations
     }
 
     /// Number of sub-tcaches per bin.
@@ -86,6 +96,9 @@ impl TCache {
             if let Some(addr) = bin.subs[s].pop() {
                 bin.cursor = (s + 1) % n;
                 bin.count -= 1;
+                if n > 1 {
+                    self.rotations += 1;
+                }
                 return Some(addr);
             }
         }
@@ -196,6 +209,7 @@ mod tests {
             }
             last_stripe = Some(stripe);
         }
+        assert_eq!(tc.rotations(), (stripes * 4) as u64);
     }
 
     #[test]
@@ -207,6 +221,7 @@ mod tests {
         for i in (0..5u64).rev() {
             assert_eq!(tc.pop(2), Some(i));
         }
+        assert_eq!(tc.rotations(), 0, "flat layout never rotates");
     }
 
     #[test]

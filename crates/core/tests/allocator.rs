@@ -15,10 +15,7 @@ fn pool(bytes: usize) -> Arc<PmemPool> {
 
 fn crash_pool(bytes: usize) -> Arc<PmemPool> {
     PmemPool::new(
-        PmemConfig::default()
-            .pool_size(bytes)
-            .latency_mode(LatencyMode::Off)
-            .crash_tracking(true),
+        PmemConfig::default().pool_size(bytes).latency_mode(LatencyMode::Off).crash_tracking(true),
     )
 }
 
@@ -236,10 +233,7 @@ fn morphing_reduces_memory_under_class_shift() {
     };
     let with = run(true);
     let without = run(false);
-    assert!(
-        with < without,
-        "morphing should reduce mapped bytes: with={with} without={without}"
-    );
+    assert!(with < without, "morphing should reduce mapped bytes: with={with} without={without}");
 }
 
 #[test]
@@ -370,11 +364,7 @@ fn crash_recovery_gc_variant_collects_garbage() {
     let reboot = PmemPool::from_crash_image(p.crash());
     let (a2, report) = NvAllocator::recover(Arc::clone(&reboot), NvConfig::gc()).unwrap();
     assert!(!report.normal_shutdown);
-    assert_eq!(
-        report.gc_live_blocks,
-        live.len(),
-        "GC must mark exactly the root-reachable blocks"
-    );
+    assert_eq!(report.gc_live_blocks, live.len(), "GC must mark exactly the root-reachable blocks");
     let mut t2 = a2.thread();
     for (&i, &addr) in &live {
         assert_eq!(reboot.read_u64(a2.root_offset(i)), addr);
@@ -386,10 +376,7 @@ fn crash_recovery_gc_variant_collects_garbage() {
 #[test]
 fn recover_unformatted_pool_fails() {
     let p = pool(16 << 20);
-    assert!(matches!(
-        NvAllocator::recover(p, NvConfig::log()),
-        Err(PmError::Corrupt(_))
-    ));
+    assert!(matches!(NvAllocator::recover(p, NvConfig::log()), Err(PmError::Corrupt(_))));
 }
 
 #[test]

@@ -70,10 +70,7 @@ fn eadr_faster_than_adr_for_strong_allocator() {
     };
     let adr = run(PmemMode::Adr);
     let eadr = run(PmemMode::Eadr);
-    assert!(
-        eadr * 2 < adr,
-        "eADR should be at least 2x cheaper (adr={adr}ns eadr={eadr}ns)"
-    );
+    assert!(eadr * 2 < adr, "eADR should be at least 2x cheaper (adr={adr}ns eadr={eadr}ns)");
 }
 
 #[test]

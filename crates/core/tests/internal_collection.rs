@@ -96,8 +96,7 @@ fn ic_survives_crash_without_wal() {
     assert!(!report.normal_shutdown);
     assert_eq!(report.wal_replayed, 0, "IC recovery replays nothing");
     // Committed objects are enumerable and intact.
-    let objs: std::collections::HashSet<u64> =
-        a2.objects().iter().map(|(o, _)| *o).collect();
+    let objs: std::collections::HashSet<u64> = a2.objects().iter().map(|(o, _)| *o).collect();
     for (&i, &addr) in &live {
         assert!(objs.contains(&addr), "object {i} missing from collection");
         assert_eq!(img.read_u64(addr), i as u64 | 0x1C << 56);

@@ -230,8 +230,6 @@ impl FpTreeSession {
         &self.tree.pool
     }
 
-
-
     /// Allocate + zero a fresh leaf attached at `dest`.
     fn alloc_leaf(&mut self, dest: PmOffset) -> PmResult<PmOffset> {
         let leaf = self.thread.malloc_to(LEAF_BYTES, dest)?;
@@ -355,9 +353,8 @@ impl FpTreeSession {
             return Ok(()); // someone else split it already
         }
         // Median key.
-        let mut keys: Vec<(u64, usize)> = (0..FANOUT)
-            .map(|i| (pool.read_u64(leaf + LEAF_KEYS + (i * 8) as u64), i))
-            .collect();
+        let mut keys: Vec<(u64, usize)> =
+            (0..FANOUT).map(|i| (pool.read_u64(leaf + LEAF_KEYS + (i * 8) as u64), i)).collect();
         keys.sort_unstable();
         let median = keys[FANOUT / 2].0;
 
@@ -472,11 +469,9 @@ mod tests {
     use nvalloc_pmem::{LatencyMode, PmemConfig};
 
     fn tree(bytes: usize) -> (Arc<PmemPool>, FpTree) {
-        let pool = PmemPool::new(
-            PmemConfig::default().pool_size(bytes).latency_mode(LatencyMode::Off),
-        );
-        let alloc =
-            Arc::new(NvAllocator::create(Arc::clone(&pool), NvConfig::log()).unwrap());
+        let pool =
+            PmemPool::new(PmemConfig::default().pool_size(bytes).latency_mode(LatencyMode::Off));
+        let alloc = Arc::new(NvAllocator::create(Arc::clone(&pool), NvConfig::log()).unwrap());
         (pool, FpTree::new(alloc, 128).unwrap())
     }
 
@@ -571,8 +566,7 @@ mod tests {
         let pool = PmemPool::new(
             PmemConfig::default().pool_size(128 << 20).latency_mode(LatencyMode::Off),
         );
-        let alloc =
-            Arc::new(NvAllocator::create(Arc::clone(&pool), NvConfig::log()).unwrap());
+        let alloc = Arc::new(NvAllocator::create(Arc::clone(&pool), NvConfig::log()).unwrap());
         let t = FpTree::new(Arc::clone(&alloc) as Arc<dyn PmAllocator>, 128).unwrap();
         let mut s = t.session();
         for k in 0..500u64 {

@@ -40,8 +40,7 @@ impl PmemPool {
     /// # Panics
     /// Panics if `flushed_only` is requested without crash tracking.
     pub fn save_heap_file(&self, path: &Path, flushed_only: bool) -> io::Result<()> {
-        let image =
-            if flushed_only { self.crash() } else { self.clean_shutdown_image() };
+        let image = if flushed_only { self.crash() } else { self.clean_shutdown_image() };
         let words = image.words();
         let mut f = File::create(path)?;
         let mut header = Vec::with_capacity(4 * 8);
@@ -104,18 +103,15 @@ mod tests {
 
     #[test]
     fn roundtrip_clean_image() {
-        let pool = PmemPool::new(
-            PmemConfig::default().pool_size(1 << 20).latency_mode(LatencyMode::Off),
-        );
+        let pool =
+            PmemPool::new(PmemConfig::default().pool_size(1 << 20).latency_mode(LatencyMode::Off));
         pool.write_u64(4096, 0xFEED);
         pool.write_u64((1 << 20) - 8, 7);
         let path = tmp("clean");
         pool.save_heap_file(&path, false).unwrap();
-        let re = PmemPool::open_heap_file(
-            &path,
-            PmemConfig::default().latency_mode(LatencyMode::Off),
-        )
-        .unwrap();
+        let re =
+            PmemPool::open_heap_file(&path, PmemConfig::default().latency_mode(LatencyMode::Off))
+                .unwrap();
         assert_eq!(re.size(), 1 << 20);
         assert_eq!(re.read_u64(4096), 0xFEED);
         assert_eq!(re.read_u64((1 << 20) - 8), 7);
@@ -136,11 +132,9 @@ mod tests {
         pool.write_u64(64, 2); // never flushed
         let path = tmp("flushed");
         pool.save_heap_file(&path, true).unwrap();
-        let re = PmemPool::open_heap_file(
-            &path,
-            PmemConfig::default().latency_mode(LatencyMode::Off),
-        )
-        .unwrap();
+        let re =
+            PmemPool::open_heap_file(&path, PmemConfig::default().latency_mode(LatencyMode::Off))
+                .unwrap();
         assert_eq!(re.read_u64(0), 1);
         assert_eq!(re.read_u64(64), 0, "unflushed write must not reach the file");
         std::fs::remove_file(path).ok();
@@ -150,20 +144,17 @@ mod tests {
     fn corrupt_file_rejected() {
         let path = tmp("corrupt");
         std::fs::write(&path, b"definitely not a heap file, far too short?").unwrap();
-        let err = PmemPool::open_heap_file(
-            &path,
-            PmemConfig::default().latency_mode(LatencyMode::Off),
-        )
-        .unwrap_err();
+        let err =
+            PmemPool::open_heap_file(&path, PmemConfig::default().latency_mode(LatencyMode::Off))
+                .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_file(path).ok();
     }
 
     #[test]
     fn bitflip_detected() {
-        let pool = PmemPool::new(
-            PmemConfig::default().pool_size(1 << 16).latency_mode(LatencyMode::Off),
-        );
+        let pool =
+            PmemPool::new(PmemConfig::default().pool_size(1 << 16).latency_mode(LatencyMode::Off));
         pool.write_u64(128, 42);
         let path = tmp("bitflip");
         pool.save_heap_file(&path, false).unwrap();
@@ -172,11 +163,9 @@ mod tests {
         let n = raw.len();
         raw[n / 2] ^= 0x40;
         std::fs::write(&path, raw).unwrap();
-        let err = PmemPool::open_heap_file(
-            &path,
-            PmemConfig::default().latency_mode(LatencyMode::Off),
-        )
-        .unwrap_err();
+        let err =
+            PmemPool::open_heap_file(&path, PmemConfig::default().latency_mode(LatencyMode::Off))
+                .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_file(path).ok();
     }

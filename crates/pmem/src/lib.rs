@@ -57,7 +57,7 @@ pub use layout::{CACHE_LINE, XPLINE};
 pub use model::{LatencyModel, ModelParams};
 pub use pool::{CrashImage, PmOffset, PmemConfig, PmemPool};
 pub use stats::{FlushKind, FlushRecord, PmemStats, StatsSnapshot};
-pub use thread::PmThread;
+pub use thread::{ClockSpan, PmThread};
 
 /// How flush/write latencies are applied to the caller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -130,9 +130,7 @@ impl LruSet {
         }
         if self.entries.len() < self.capacity {
             self.entries.push((key, self.stamp));
-        } else if let Some(victim) =
-            self.entries.iter_mut().min_by_key(|e| e.1)
-        {
+        } else if let Some(victim) = self.entries.iter_mut().min_by_key(|e| e.1) {
             *victim = (key, self.stamp);
         }
         false
@@ -218,7 +216,13 @@ impl LatencyModel {
             let mut core = self.core.lock();
             core.seq += 1;
             let seq = core.seq;
-            return FlushOutcome { seq, cost_ns: 0, is_reflush: false, is_sequential, xpbuf_miss: false };
+            return FlushOutcome {
+                seq,
+                cost_ns: 0,
+                is_reflush: false,
+                is_sequential,
+                xpbuf_miss: false,
+            };
         }
 
         let (seq, reflush_distance, xpbuf_miss) = {
@@ -233,13 +237,12 @@ impl LatencyModel {
             // Capacity miss: seen recently, but the buffer already evicted
             // it (lost write combining). Cold misses are free beyond the
             // base media cost.
-            let miss = !in_buffer
-                && last_seen.is_some_and(|p| seq - p <= self.params.xpbuf_history);
+            let miss =
+                !in_buffer && last_seen.is_some_and(|p| seq - p <= self.params.xpbuf_history);
             (seq, distance, miss)
         };
 
-        let is_reflush =
-            matches!(reflush_distance, Some(d) if d < self.params.reflush_window);
+        let is_reflush = matches!(reflush_distance, Some(d) if d < self.params.reflush_window);
         let mut cost = if let Some(d) = reflush_distance.filter(|&d| d < self.params.reflush_window)
         {
             self.params.reflush_ns[(d as usize).min(self.params.reflush_ns.len() - 1)]

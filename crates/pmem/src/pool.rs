@@ -401,12 +401,7 @@ impl PmemPool {
     /// # Errors
     /// Returns the actual current value if it did not match `expected`.
     #[inline]
-    pub fn compare_exchange_u64(
-        &self,
-        off: PmOffset,
-        expected: u64,
-        new: u64,
-    ) -> Result<u64, u64> {
+    pub fn compare_exchange_u64(&self, off: PmOffset, expected: u64, new: u64) -> Result<u64, u64> {
         self.bounds_panic(off, 8);
         assert_eq!(off % 8, 0);
         self.words[off as usize / 8].compare_exchange(
@@ -515,10 +510,8 @@ impl PmemPool {
     /// Panics unless the pool was built with
     /// [`PmemConfig::crash_tracking`]`(true)`.
     pub fn crash(&self) -> CrashImage {
-        let shadow = self
-            .shadow
-            .as_ref()
-            .expect("crash() requires PmemConfig::crash_tracking(true)");
+        let shadow =
+            self.shadow.as_ref().expect("crash() requires PmemConfig::crash_tracking(true)");
         let words = shadow.iter().map(|w| w.load(Ordering::Acquire)).collect();
         CrashImage { words, config: self.config.clone() }
     }
@@ -677,9 +670,8 @@ mod tests {
 
     #[test]
     fn concurrent_disjoint_writes() {
-        let p = PmemPool::new(
-            PmemConfig::default().pool_size(1 << 20).latency_mode(LatencyMode::Off),
-        );
+        let p =
+            PmemPool::new(PmemConfig::default().pool_size(1 << 20).latency_mode(LatencyMode::Off));
         std::thread::scope(|s| {
             for t in 0..4u64 {
                 let p = &p;
@@ -701,9 +693,7 @@ mod tests {
     #[test]
     fn concurrent_byte_neighbours_no_tearing() {
         // Two threads CAS-write adjacent bytes of the same word.
-        let p = PmemPool::new(
-            PmemConfig::default().pool_size(4096).latency_mode(LatencyMode::Off),
-        );
+        let p = PmemPool::new(PmemConfig::default().pool_size(4096).latency_mode(LatencyMode::Off));
         std::thread::scope(|s| {
             for b in 0..8u64 {
                 let p = &p;

@@ -255,23 +255,27 @@ pub struct StatsSnapshot {
 
 impl StatsSnapshot {
     /// Counter-wise difference `self - earlier` (for phase measurements).
+    ///
+    /// Each field is computed with saturating subtraction: if `earlier` was
+    /// taken after `self` (or after a pool reset zeroed the live counters),
+    /// the affected fields clamp to zero instead of panicking on underflow.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         let mut kind_flushes = [0u64; KINDS];
         let mut kind_reflushes = [0u64; KINDS];
         let mut kind_ns = [0u64; KINDS];
         for i in 0..KINDS {
-            kind_flushes[i] = self.kind_flushes[i] - earlier.kind_flushes[i];
-            kind_reflushes[i] = self.kind_reflushes[i] - earlier.kind_reflushes[i];
-            kind_ns[i] = self.kind_ns[i] - earlier.kind_ns[i];
+            kind_flushes[i] = self.kind_flushes[i].saturating_sub(earlier.kind_flushes[i]);
+            kind_reflushes[i] = self.kind_reflushes[i].saturating_sub(earlier.kind_reflushes[i]);
+            kind_ns[i] = self.kind_ns[i].saturating_sub(earlier.kind_ns[i]);
         }
         StatsSnapshot {
-            flushes: self.flushes - earlier.flushes,
-            reflushes: self.reflushes - earlier.reflushes,
-            fences: self.fences - earlier.fences,
-            seq_writes: self.seq_writes - earlier.seq_writes,
-            rand_writes: self.rand_writes - earlier.rand_writes,
-            bytes_flushed: self.bytes_flushed - earlier.bytes_flushed,
-            xpbuf_misses: self.xpbuf_misses - earlier.xpbuf_misses,
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            reflushes: self.reflushes.saturating_sub(earlier.reflushes),
+            fences: self.fences.saturating_sub(earlier.fences),
+            seq_writes: self.seq_writes.saturating_sub(earlier.seq_writes),
+            rand_writes: self.rand_writes.saturating_sub(earlier.rand_writes),
+            bytes_flushed: self.bytes_flushed.saturating_sub(earlier.bytes_flushed),
+            xpbuf_misses: self.xpbuf_misses.saturating_sub(earlier.xpbuf_misses),
             kind_flushes,
             kind_reflushes,
             kind_ns,
@@ -341,6 +345,18 @@ mod tests {
         assert_eq!(d.flushes_of(FlushKind::Wal), 1);
         assert_eq!(d.ns_of(FlushKind::Wal), 700);
         assert_eq!(d.flushes_of(FlushKind::Meta), 0);
+    }
+
+    #[test]
+    fn snapshot_diff_saturates_on_reversed_order() {
+        let s = PmemStats::new(16);
+        s.record_flush(0, 0, FlushKind::Meta, false, true, false, 100, 64);
+        let later = s.snapshot();
+        s.record_flush(1, 64, FlushKind::Wal, true, false, true, 700, 64);
+        let even_later = s.snapshot();
+        // Diffing the wrong way round clamps to zero rather than underflowing.
+        let d = later.since(&even_later);
+        assert_eq!(d, StatsSnapshot::default());
     }
 
     #[test]

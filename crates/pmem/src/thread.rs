@@ -34,6 +34,12 @@ impl PmThread {
         self.virtual_ns = 0;
     }
 
+    /// Start a span on this thread's virtual clock (telemetry latency
+    /// measurements). Reading the clock does not advance it.
+    pub fn span(&self) -> ClockSpan {
+        ClockSpan { start_ns: self.virtual_ns }
+    }
+
     #[inline]
     pub(crate) fn accrue_ns(&mut self, ns: u64) {
         self.virtual_ns += ns;
@@ -50,6 +56,22 @@ impl PmThread {
     }
 }
 
+/// A started measurement on a [`PmThread`]'s virtual clock.
+///
+/// Saturating on both ends: a `reset_clock` between `span()` and
+/// `elapsed_ns()` yields 0, never a panic or a wrapped value.
+#[derive(Debug, Clone, Copy)]
+pub struct ClockSpan {
+    start_ns: u64,
+}
+
+impl ClockSpan {
+    /// Modelled nanoseconds accrued on `t` since the span started.
+    pub fn elapsed_ns(&self, t: &PmThread) -> u64 {
+        t.virtual_ns.saturating_sub(self.start_ns)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +85,17 @@ mod tests {
         assert_eq!(t.virtual_ns(), 150);
         t.reset_clock();
         assert_eq!(t.virtual_ns(), 0);
+    }
+
+    #[test]
+    fn span_measures_accrual_and_saturates_across_reset() {
+        let mut t = PmThread::new(0);
+        t.accrue_ns(10);
+        let span = t.span();
+        assert_eq!(span.elapsed_ns(&t), 0);
+        t.accrue_ns(25);
+        assert_eq!(span.elapsed_ns(&t), 25);
+        t.reset_clock();
+        assert_eq!(span.elapsed_ns(&t), 0, "reset mid-span must not underflow");
     }
 }

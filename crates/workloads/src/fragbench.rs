@@ -122,6 +122,7 @@ impl FragResult {
 /// Run one Fragbench workload single-threaded (as in the paper's Fig. 1b).
 pub fn run(alloc: &Arc<dyn PmAllocator>, w: Workload, p: Params) -> FragResult {
     alloc.pool().stats().reset();
+    let m0 = alloc.metrics();
     let mut t = alloc.thread();
     t.pm_mut().reset_clock();
     let mut rng = SmallRng::seed_from_u64(p.seed);
@@ -132,12 +133,12 @@ pub fn run(alloc: &Arc<dyn PmAllocator>, w: Workload, p: Params) -> FragResult {
     let mut ops = 0u64;
 
     let phase = |t: &mut Box<dyn AllocThread>,
-                     rng: &mut SmallRng,
-                     live: &mut Vec<(usize, usize)>,
-                     live_bytes: &mut usize,
-                     free_slots: &mut Vec<usize>,
-                     dist: SizeDist,
-                     ops: &mut u64| {
+                 rng: &mut SmallRng,
+                 live: &mut Vec<(usize, usize)>,
+                 live_bytes: &mut usize,
+                 free_slots: &mut Vec<usize>,
+                 dist: SizeDist,
+                 ops: &mut u64| {
         let mut allocated = 0usize;
         while allocated < p.total_bytes {
             let size = dist.sample(rng);
@@ -175,6 +176,7 @@ pub fn run(alloc: &Arc<dyn PmAllocator>, w: Workload, p: Params) -> FragResult {
     phase(&mut t, &mut rng, &mut live, &mut live_bytes, &mut free_slots, w.after, &mut ops);
 
     let elapsed_ns = t.pm().virtual_ns() + ops * crate::harness::CPU_NS_PER_OP;
+    drop(t); // merge the thread's telemetry histograms before snapshotting
     FragResult {
         workload: w.name,
         allocator: alloc.name(),
@@ -188,6 +190,7 @@ pub fn run(alloc: &Arc<dyn PmAllocator>, w: Workload, p: Params) -> FragResult {
             stats: alloc.pool().stats().snapshot(),
             peak_mapped: alloc.peak_mapped_bytes(),
             mapped: alloc.heap_mapped_bytes(),
+            metrics: alloc.metrics().since(&m0),
         },
     }
 }
@@ -199,9 +202,8 @@ mod tests {
     use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
 
     fn run_tiny(which: Which, w: Workload) -> FragResult {
-        let pool = PmemPool::new(
-            PmemConfig::default().pool_size(64 << 20).latency_mode(LatencyMode::Off),
-        );
+        let pool =
+            PmemPool::new(PmemConfig::default().pool_size(64 << 20).latency_mode(LatencyMode::Off));
         let a = which.create_with_roots(pool, 1 << 17);
         run(&a, w, Params::tiny())
     }

@@ -3,7 +3,8 @@
 use std::sync::Arc;
 
 use nvalloc::api::{AllocThread, PmAllocator};
-use nvalloc_pmem::StatsSnapshot;
+use nvalloc::telemetry::{json, MetricsSnapshot};
+use nvalloc_pmem::{FlushKind, StatsSnapshot};
 
 /// Modelled CPU nanoseconds per allocator operation (search, list
 /// manipulation, locking — everything that is not a PM access). Optimised
@@ -45,6 +46,9 @@ pub struct BenchMeasurement {
     pub peak_mapped: usize,
     /// Mapped heap bytes at the end of the run.
     pub mapped: usize,
+    /// Allocator-internal telemetry for the measured phase (all-zero for
+    /// allocators that do not implement [`PmAllocator::metrics`]).
+    pub metrics: MetricsSnapshot,
 }
 
 impl BenchMeasurement {
@@ -59,6 +63,41 @@ impl BenchMeasurement {
     /// Modelled elapsed time in milliseconds.
     pub fn elapsed_ms(&self) -> f64 {
         self.elapsed_ns as f64 / 1e6
+    }
+
+    /// Serialise the measurement as one self-contained JSON object
+    /// (single line, no trailing newline) for `--json` bench output.
+    ///
+    /// `bench` names the experiment (e.g. `"fig09_small_strong"`). Field
+    /// order is fixed, so identical runs produce byte-identical records.
+    pub fn to_json(&self, bench: &str) -> String {
+        let mut o = json::JsonObj::new();
+        o.field_str("bench", bench);
+        o.field_str("allocator", &self.allocator);
+        o.field_u64("threads", self.threads as u64);
+        o.field_u64("ops", self.ops);
+        o.field_u64("elapsed_ns", self.elapsed_ns);
+        o.field_f64("mops", self.mops());
+        let mut st = json::JsonObj::new();
+        st.field_u64("flushes", self.stats.flushes);
+        st.field_u64("reflushes", self.stats.reflushes);
+        st.field_u64("fences", self.stats.fences);
+        st.field_u64("seq_writes", self.stats.seq_writes);
+        st.field_u64("rand_writes", self.stats.rand_writes);
+        st.field_u64("bytes_flushed", self.stats.bytes_flushed);
+        st.field_u64("xpbuf_misses", self.stats.xpbuf_misses);
+        for k in FlushKind::ALL {
+            let mut kk = json::JsonObj::new();
+            kk.field_u64("flushes", self.stats.flushes_of(k));
+            kk.field_u64("reflushes", self.stats.reflushes_of(k));
+            kk.field_u64("ns", self.stats.ns_of(k));
+            st.field_raw(k.label(), &kk.finish());
+        }
+        o.field_raw("stats", &st.finish());
+        o.field_u64("peak_mapped", self.peak_mapped as u64);
+        o.field_u64("mapped", self.mapped as u64);
+        o.field_raw("metrics", &self.metrics.to_json());
+        o.finish()
     }
 }
 
@@ -80,6 +119,7 @@ pub fn run_threads(
     work: impl Fn(usize, &mut dyn AllocThread) -> u64 + Sync,
 ) -> BenchMeasurement {
     alloc.pool().stats().reset();
+    let m0 = alloc.metrics();
     let per_thread: Vec<(u64, u64)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|k| {
@@ -96,11 +136,7 @@ pub fn run_threads(
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
     let ops = per_thread.iter().map(|(o, _)| o).sum();
-    let elapsed_ns = per_thread
-        .iter()
-        .map(|(o, v)| v + o * CPU_NS_PER_OP)
-        .max()
-        .unwrap_or(0);
+    let elapsed_ns = per_thread.iter().map(|(o, v)| v + o * CPU_NS_PER_OP).max().unwrap_or(0);
     BenchMeasurement {
         allocator: alloc.name(),
         threads,
@@ -109,6 +145,9 @@ pub fn run_threads(
         stats: alloc.pool().stats().snapshot(),
         peak_mapped: alloc.peak_mapped_bytes(),
         mapped: alloc.heap_mapped_bytes(),
+        // Worker `AllocThread`s dropped inside the scope above, so their
+        // thread-local histograms are already merged into the registry.
+        metrics: alloc.metrics().since(&m0),
     }
 }
 
@@ -166,7 +205,7 @@ impl Reporter {
             out.push('\n');
             if ri == 0 {
                 let total: usize =
-                    self.widths.iter().sum::<usize>() + 2 * (self.widths.len() - 1);
+                    self.widths.iter().sum::<usize>() + 2 * self.widths.len().saturating_sub(1);
                 out.push_str(&"-".repeat(total));
                 out.push('\n');
             }
@@ -212,5 +251,42 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert!(lines[1].starts_with("----"));
         assert!(lines[2].contains("abc"));
+    }
+
+    #[test]
+    fn reporter_zero_columns_does_not_panic() {
+        // A header row with no cells used to underflow the separator width.
+        let mut r = Reporter::new(&[]);
+        r.row(&[]);
+        let s = r.render();
+        // header line + (empty) separator line + second row
+        assert_eq!(s.lines().count(), 3);
+
+        // An entirely empty reporter renders an empty table.
+        let r = Reporter::default();
+        assert_eq!(r.render(), "");
+    }
+
+    #[test]
+    fn measurement_to_json_is_one_line_with_metrics() {
+        let pool = PmemPool::new(
+            PmemConfig::default().pool_size(32 << 20).latency_mode(LatencyMode::Virtual),
+        );
+        let alloc = Which::NvallocLog.create(pool);
+        let m = run_threads(&alloc, 1, |_, t| {
+            for i in 0..50 {
+                let root = alloc.root_offset(i);
+                t.malloc_to(64, root).unwrap();
+                t.free_from(root).unwrap();
+            }
+            100
+        });
+        assert!(m.metrics.tcache_hits + m.metrics.tcache_misses > 0);
+        let j = m.to_json("unit_test");
+        assert!(!j.contains('\n'));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"bench\":\"unit_test\""));
+        assert!(j.contains("\"metrics\":{"));
+        assert!(j.contains("\"stats\":{"));
     }
 }

@@ -63,8 +63,7 @@ pub fn run(alloc: &Arc<dyn PmAllocator>, p: Params) -> BenchMeasurement {
             let base = k * per_thread;
             for i in 0..p.slots {
                 let size = rng.gen_range(p.size_range.0..=p.size_range.1);
-                t.malloc_to(size, crate::harness::spread_root(&**alloc, base + i))
-                    .expect("alloc");
+                t.malloc_to(size, crate::harness::spread_root(&**alloc, base + i)).expect("alloc");
                 ops += 1;
             }
             barrier.wait();
@@ -91,7 +90,8 @@ mod tests {
             PmemConfig::default().pool_size(128 << 20).latency_mode(LatencyMode::Virtual),
         );
         let a = Which::NvallocLog.create(pool);
-        let m = run(&a, Params { threads: 3, rounds: 4, slots: 40, size_range: (64, 256), seed: 2 });
+        let m =
+            run(&a, Params { threads: 3, rounds: 4, slots: 40, size_range: (64, 256), seed: 2 });
         assert!(m.ops > 0);
         assert_eq!(a.live_bytes(), 0);
     }
@@ -102,7 +102,10 @@ mod tests {
             PmemConfig::default().pool_size(256 << 20).latency_mode(LatencyMode::Virtual),
         );
         let a = Which::NvallocLog.create(pool);
-        let m = run(&a, Params { threads: 2, rounds: 2, slots: 8, size_range: (32 << 10, 128 << 10), seed: 3 });
+        let m = run(
+            &a,
+            Params { threads: 2, rounds: 2, slots: 8, size_range: (32 << 10, 128 << 10), seed: 3 },
+        );
         assert!(m.ops > 0);
         assert_eq!(a.live_bytes(), 0);
     }

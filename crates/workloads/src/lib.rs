@@ -65,13 +65,8 @@ pub mod allocators {
         pub const WEAK: [Which; 3] = [Which::Makalu, Which::Ralloc, Which::NvallocGc];
 
         /// The large-allocation set (Fig. 12).
-        pub const LARGE: [Which; 5] = [
-            Which::Pmdk,
-            Which::NvmMalloc,
-            Which::Pallocator,
-            Which::Makalu,
-            Which::NvallocLog,
-        ];
+        pub const LARGE: [Which; 5] =
+            [Which::Pmdk, Which::NvmMalloc, Which::Pallocator, Which::Makalu, Which::NvallocLog];
 
         /// Instantiate over `pool`.
         ///
@@ -92,12 +87,12 @@ pub mod allocators {
                 Which::Pallocator => baseline(pool, BaselineKind::Pallocator, roots),
                 Which::Makalu => baseline(pool, BaselineKind::Makalu, roots),
                 Which::Ralloc => baseline(pool, BaselineKind::Ralloc, roots),
-                Which::NvallocLog => {
-                    Arc::new(NvAllocator::create(pool, NvConfig::log().roots(roots)).expect("create"))
-                }
-                Which::NvallocGc => {
-                    Arc::new(NvAllocator::create(pool, NvConfig::gc().roots(roots)).expect("create"))
-                }
+                Which::NvallocLog => Arc::new(
+                    NvAllocator::create(pool, NvConfig::log().roots(roots)).expect("create"),
+                ),
+                Which::NvallocGc => Arc::new(
+                    NvAllocator::create(pool, NvConfig::gc().roots(roots)).expect("create"),
+                ),
                 Which::NvallocCustom(_) => panic!("use create_custom for ablation configs"),
             }
         }
@@ -125,11 +120,7 @@ pub mod allocators {
     ///
     /// # Panics
     /// Panics if the pool is too small.
-    pub fn create_custom(
-        pool: Arc<PmemPool>,
-        cfg: NvConfig,
-        roots: usize,
-    ) -> Arc<dyn PmAllocator> {
+    pub fn create_custom(pool: Arc<PmemPool>, cfg: NvConfig, roots: usize) -> Arc<dyn PmAllocator> {
         Arc::new(NvAllocator::create(pool, cfg.roots(roots)).expect("create"))
     }
 }

@@ -60,9 +60,8 @@ mod tests {
 
     #[test]
     fn build_and_walk() {
-        let pool = PmemPool::new(
-            PmemConfig::default().pool_size(64 << 20).latency_mode(LatencyMode::Off),
-        );
+        let pool =
+            PmemPool::new(PmemConfig::default().pool_size(64 << 20).latency_mode(LatencyMode::Off));
         let a = Which::NvallocLog.create(pool);
         build(&a, 1000, 42);
         assert_eq!(count(&a), 1000);

@@ -37,9 +37,8 @@ pub fn run(alloc: &Arc<dyn PmAllocator>, p: Params) -> BenchMeasurement {
     // capacity bounds the in-flight objects so the producer can never lap
     // the consumer around the slot ring.
     let max_batches = (per_pair / p.batch).saturating_sub(3).clamp(1, 64);
-    let channels: Vec<_> = (0..pairs)
-        .map(|_| crossbeam::channel::bounded::<Vec<usize>>(max_batches))
-        .collect();
+    let channels: Vec<_> =
+        (0..pairs).map(|_| crossbeam::channel::bounded::<Vec<usize>>(max_batches)).collect();
     let channels = Arc::new(channels);
 
     run_threads(alloc, threads, move |k, t| {
@@ -54,8 +53,7 @@ pub fn run(alloc: &Arc<dyn PmAllocator>, p: Params) -> BenchMeasurement {
             for _ in 0..p.objects {
                 let slot = base + next;
                 next = (next + 1) % per_pair;
-                t.malloc_to(p.size, crate::harness::spread_root(&**alloc, slot))
-                    .expect("alloc");
+                t.malloc_to(p.size, crate::harness::spread_root(&**alloc, slot)).expect("alloc");
                 ops += 1;
                 batch.push(slot);
                 if batch.len() == p.batch {

@@ -27,9 +27,8 @@ fn main() {
 
     println!("{:<24} {:>14} {:>10}", "allocator", "peak MiB", "x live");
     for which in [Which::Pmdk, Which::Makalu] {
-        let pool = PmemPool::new(
-            PmemConfig::default().pool_size(1 << 30).latency_mode(LatencyMode::Off),
-        );
+        let pool =
+            PmemPool::new(PmemConfig::default().pool_size(1 << 30).latency_mode(LatencyMode::Off));
         let a = which.create_with_roots(pool, 1 << 20);
         let r = fragbench::run(&a, w, p);
         println!(
@@ -40,17 +39,15 @@ fn main() {
         );
     }
     for morphing in [false, true] {
-        let pool = PmemPool::new(
-            PmemConfig::default().pool_size(1 << 30).latency_mode(LatencyMode::Off),
-        );
+        let pool =
+            PmemPool::new(PmemConfig::default().pool_size(1 << 30).latency_mode(LatencyMode::Off));
         let nv = Arc::new(
             NvAllocator::create(pool, NvConfig::log().morphing(morphing).roots(1 << 20))
                 .expect("create"),
         );
         let dyn_a: Arc<dyn PmAllocator> = nv.clone();
         let r = fragbench::run(&dyn_a, w, p);
-        let label =
-            if morphing { "NVAlloc-LOG (morphing)" } else { "NVAlloc-LOG (w/o SM)" };
+        let label = if morphing { "NVAlloc-LOG (morphing)" } else { "NVAlloc-LOG (w/o SM)" };
         println!(
             "{:<24} {:>14.1} {:>10.2}",
             label,

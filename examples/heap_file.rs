@@ -18,9 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- first "run": create, populate, exit, save ----
     {
-        let pool = PmemPool::new(
-            PmemConfig::default().pool_size(64 << 20).latency_mode(LatencyMode::Off),
-        );
+        let pool =
+            PmemPool::new(PmemConfig::default().pool_size(64 << 20).latency_mode(LatencyMode::Off));
         let alloc: Arc<dyn PmAllocator> =
             Arc::new(NvAllocator::create(Arc::clone(&pool), NvConfig::log())?);
         let tree = FpTree::new(Arc::clone(&alloc), 128)?;
@@ -39,10 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- second "run": open, recover, verify ----
     {
-        let pool = PmemPool::open_heap_file(
-            &path,
-            PmemConfig::default().latency_mode(LatencyMode::Off),
-        )?;
+        let pool =
+            PmemPool::open_heap_file(&path, PmemConfig::default().latency_mode(LatencyMode::Off))?;
         let (alloc, report) = NvAllocator::recover(Arc::clone(&pool), NvConfig::log())?;
         println!(
             "run 2: recovered (normal_shutdown={}, slabs={}, extents={})",

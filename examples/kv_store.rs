@@ -8,7 +8,6 @@
 
 use std::sync::Arc;
 
-
 use nvalloc_fptree::FpTree;
 use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
 use nvalloc_workloads::allocators::Which;
@@ -46,27 +45,17 @@ fn drive(which: Which) -> (f64, u64, f64) {
         }
         ops += 1;
     }
-    let elapsed =
-        start.elapsed().as_nanos() as u64 + s.thread().pm().virtual_ns();
+    let elapsed = start.elapsed().as_nanos() as u64 + s.thread().pm().virtual_ns();
     let snap = pool.stats().snapshot();
     (ops as f64 / elapsed as f64 * 1e3, snap.flushes, snap.reflush_pct())
 }
 
 fn main() {
     println!("persistent KV store (FPTree, 100k warm + 100k mixed ops)\n");
-    println!(
-        "{:<12} {:>10} {:>12} {:>10}",
-        "allocator", "Mops/s", "flushes", "reflush %"
-    );
+    println!("{:<12} {:>10} {:>12} {:>10}", "allocator", "Mops/s", "flushes", "reflush %");
     for which in [Which::NvallocLog, Which::Pmdk] {
         let (mops, flushes, reflush) = drive(which);
-        println!(
-            "{:<12} {:>10.2} {:>12} {:>9.1}%",
-            which.name(),
-            mops,
-            flushes,
-            reflush
-        );
+        println!("{:<12} {:>10.2} {:>12} {:>9.1}%", which.name(), mops, flushes, reflush);
     }
     println!("\nNVAlloc's interleaved metadata and per-thread WAL slots cut the");
     println!("reflush share, which is where the throughput difference comes from.");

@@ -40,8 +40,8 @@ fn strong_baselines_survive_crash() {
         // Hard crash: only flushed lines survive. Strong baselines flushed
         // every root install and bitmap update.
         let img = PmemPool::from_crash_image(p.crash());
-        let (a2, rep) = Baseline::recover(Arc::clone(&img), kind)
-            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        let (a2, rep) =
+            Baseline::recover(Arc::clone(&img), kind).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
         assert!(rep.slabs > 0, "{kind:?}");
         for (&i, &addr) in &live {
             assert_eq!(img.read_u64(a2.root_offset(i)), addr, "{kind:?} root {i}");
@@ -86,8 +86,8 @@ fn weak_baselines_gc_recover_reachable_set() {
         }
         p.fence(t.pm_mut());
         let img = PmemPool::from_crash_image(p.crash());
-        let (a2, rep) = Baseline::recover(Arc::clone(&img), kind)
-            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        let (a2, rep) =
+            Baseline::recover(Arc::clone(&img), kind).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
         assert_eq!(rep.gc_marked, live.len(), "{kind:?}: GC mark count");
         let mut t2 = a2.thread();
         for (&i, &addr) in &live {

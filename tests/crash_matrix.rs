@@ -47,8 +47,7 @@ fn run_until_crash(ops: usize, seed: u64) -> (Arc<PmemPool>, HashMap<usize, (u64
 
 fn verify_recovery(pool: Arc<PmemPool>, live: &HashMap<usize, (u64, usize)>) {
     let img = PmemPool::from_crash_image(pool.crash());
-    let (alloc, report) =
-        NvAllocator::recover(Arc::clone(&img), NvConfig::log()).expect("recover");
+    let (alloc, report) = NvAllocator::recover(Arc::clone(&img), NvConfig::log()).expect("recover");
     assert!(!report.normal_shutdown);
     let mut t = alloc.thread();
     // Every committed allocation survives with its payload.

@@ -2,9 +2,9 @@
 //! reproducible: identical runs must produce identical modelled times and
 //! PM counters.
 
+use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
 use nvalloc_workloads::allocators::Which;
 use nvalloc_workloads::{shbench, threadtest};
-use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
 
 fn pool() -> std::sync::Arc<PmemPool> {
     PmemPool::new(PmemConfig::default().pool_size(128 << 20).latency_mode(LatencyMode::Virtual))

@@ -4,7 +4,6 @@
 
 use std::sync::Arc;
 
-
 use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
 use nvalloc_workloads::allocators::Which;
 use rand::rngs::SmallRng;
@@ -50,9 +49,8 @@ fn trace(seed: u64, n: usize, slots: usize, large: bool) -> Vec<Op> {
 
 /// Run a trace; returns (final root values validity, live_bytes) summary.
 fn run_trace(which: Which, ops: &[Op]) -> (usize, usize) {
-    let pool = PmemPool::new(
-        PmemConfig::default().pool_size(256 << 20).latency_mode(LatencyMode::Off),
-    );
+    let pool =
+        PmemPool::new(PmemConfig::default().pool_size(256 << 20).latency_mode(LatencyMode::Off));
     let alloc = which.create_with_roots(Arc::clone(&pool), 4096);
     let mut t = alloc.thread();
     let mut expected: Vec<Option<u64>> = vec![None; 4096];

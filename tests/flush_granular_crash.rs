@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use nvalloc::api::{AllocThread, PmAllocator};
+use nvalloc::api::PmAllocator;
 use nvalloc::{NvAllocator, NvConfig};
 use nvalloc_pmem::{FlushKind, LatencyMode, PmemConfig, PmemPool};
 use rand::rngs::SmallRng;
@@ -31,7 +31,7 @@ fn run_with_freeze(freeze: Option<u64>, ops: usize, seed: u64) -> u64 {
     {
         let mut t = alloc.thread();
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut occupied = vec![false; 128];
+        let mut occupied = [false; 128];
         for _ in 0..ops {
             let slot = rng.gen_range(0..128usize);
             let root = alloc.root_offset(slot);
@@ -118,8 +118,7 @@ fn crash_swept_multithreaded_coarse() {
                 .latency_mode(LatencyMode::Off)
                 .crash_tracking(true),
         );
-        let alloc =
-            NvAllocator::create(Arc::clone(&pool), NvConfig::log().arenas(2)).unwrap();
+        let alloc = NvAllocator::create(Arc::clone(&pool), NvConfig::log().arenas(2)).unwrap();
         pool.freeze_persistence_after(freeze);
         std::thread::scope(|s| {
             for k in 0..3usize {

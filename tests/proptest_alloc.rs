@@ -5,7 +5,6 @@
 
 use std::sync::Arc;
 
-
 use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
 use nvalloc_workloads::allocators::Which;
 use proptest::prelude::*;
@@ -24,9 +23,8 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 }
 
 fn check(which: Which, steps: &[Step]) -> Result<(), TestCaseError> {
-    let pool = PmemPool::new(
-        PmemConfig::default().pool_size(128 << 20).latency_mode(LatencyMode::Off),
-    );
+    let pool =
+        PmemPool::new(PmemConfig::default().pool_size(128 << 20).latency_mode(LatencyMode::Off));
     let alloc = which.create_with_roots(Arc::clone(&pool), 256);
     let mut t = alloc.thread();
     let mut model: [Option<(u64, usize)>; 256] = [None; 256];

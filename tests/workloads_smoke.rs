@@ -18,9 +18,7 @@ const ALL: [Which; 7] = [
 ];
 
 fn pool(mb: usize) -> Arc<PmemPool> {
-    PmemPool::new(
-        PmemConfig::default().pool_size(mb << 20).latency_mode(LatencyMode::Virtual),
-    )
+    PmemPool::new(PmemConfig::default().pool_size(mb << 20).latency_mode(LatencyMode::Virtual))
 }
 
 #[test]
@@ -62,7 +60,10 @@ fn shbench_matrix() {
 fn larson_small_matrix() {
     for w in ALL {
         let a = w.create(pool(128));
-        let m = larson::run(&a, larson::Params { threads: 2, rounds: 3, slots: 32, size_range: (64, 256), seed: 4 });
+        let m = larson::run(
+            &a,
+            larson::Params { threads: 2, rounds: 3, slots: 32, size_range: (64, 256), seed: 4 },
+        );
         assert!(m.ops > 0, "{w:?}");
         assert_eq!(a.live_bytes(), 0, "{w:?}");
     }
@@ -74,7 +75,13 @@ fn larson_large_matrix() {
         let a = w.create(pool(256));
         let m = larson::run(
             &a,
-            larson::Params { threads: 2, rounds: 2, slots: 6, size_range: (32 << 10, 128 << 10), seed: 5 },
+            larson::Params {
+                threads: 2,
+                rounds: 2,
+                slots: 6,
+                size_range: (32 << 10, 128 << 10),
+                seed: 5,
+            },
         );
         assert!(m.ops > 0, "{w:?}");
         assert_eq!(a.live_bytes(), 0, "{w:?}");

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the handful of external dependencies are vendored as minimal
+//! API-compatible shims. This one runs each benchmark closure for the
+//! configured measurement time and prints a mean per-iteration wall-clock
+//! figure — no statistics, plots, or outlier analysis.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value blocker (prevents the optimiser from deleting a result).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function/group name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId { name: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only id (the group provides the name).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement_time: Duration,
+    /// (total elapsed, iterations) recorded by the last `iter` call.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly for the configured measurement time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        // Check the clock once per batch to keep timer overhead out of
+        // short benchmarks.
+        let batch = 64;
+        loop {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+            if start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100, measurement_time: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    /// Set the nominal sample count (kept for API compatibility; this shim
+    /// uses it only to scale the measurement window).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the measurement window per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, group: name.to_string() }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.measurement_time, name, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.group, id);
+        run_one(self.criterion.measurement_time, &label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f`, labelled by `name` within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.group, name);
+        run_one(self.criterion.measurement_time, &label, f);
+        self
+    }
+
+    /// End the group (no-op in this shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(measurement_time: Duration, label: &str, mut f: F) {
+    let mut b = Bencher { measurement_time, result: None };
+    f(&mut b);
+    match b.result {
+        Some((elapsed, iters)) if iters > 0 => {
+            let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{label:<50} {per_iter:>12.1} ns/iter ({iters} iters)");
+        }
+        _ => println!("{label:<50} (no measurement)"),
+    }
+}
+
+/// Declare a benchmark group: either `criterion_group!(name, target…)` or
+/// the long form with `name = …; config = …; targets = …`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the benchmark `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_records() {
+        let mut c = Criterion::default().sample_size(10).measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("x", 4), &4, |b, &n| b.iter(|| n * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("a", 8).to_string(), "a/8");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

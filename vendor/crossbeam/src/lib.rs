@@ -1,0 +1,183 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the handful of external dependencies are vendored as minimal
+//! API-compatible shims. Only the surface the workspace uses is provided:
+//! [`channel::bounded`] — a blocking bounded MPMC channel built on
+//! `Mutex` + `Condvar`.
+
+#![warn(missing_docs)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<Inner<T>>,
+        /// Signalled when an item is enqueued or the last sender leaves.
+        not_empty: Condvar,
+        /// Signalled when an item is dequeued.
+        not_full: Condvar,
+        cap: usize,
+    }
+
+    struct Inner<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.queue.lock().expect("channel lock").senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut q = self.0.queue.lock().expect("channel lock");
+            q.senders -= 1;
+            if q.senders == 0 {
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking while the channel is full.
+        ///
+        /// # Errors
+        /// This shim never observes receiver disconnection (receivers are
+        /// cloneable and the workspace keeps one alive), so it always
+        /// succeeds; the `Result` mirrors the real API.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.0.queue.lock().expect("channel lock");
+            while q.items.len() >= self.0.cap {
+                q = self.0.not_full.wait(q).expect("channel lock");
+            }
+            q.items.push_back(value);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive one value, blocking while the channel is empty.
+        ///
+        /// # Errors
+        /// [`RecvError`] once the channel is empty and all senders are
+        /// dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.0.queue.lock().expect("channel lock");
+            loop {
+                if let Some(v) = q.items.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if q.senders == 0 {
+                    return Err(RecvError);
+                }
+                q = self.0.not_empty.wait(q).expect("channel lock");
+            }
+        }
+    }
+
+    /// Create a bounded channel holding at most `cap` items (`cap` ≥ 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Inner { items: VecDeque::new(), senders: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip_preserves_order() {
+            let (tx, rx) = bounded(4);
+            for i in 0..4 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..4 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+        }
+
+        #[test]
+        fn blocks_at_capacity_until_drained() {
+            let (tx, rx) = bounded(2);
+            let h = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            for i in 0..100 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+            h.join().unwrap();
+        }
+
+        #[test]
+        fn recv_errors_when_senders_gone() {
+            let (tx, rx) = bounded::<u32>(2);
+            let tx2 = tx.clone();
+            tx2.send(7).unwrap();
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the handful of external dependencies are vendored as minimal
+//! API-compatible shims. This one provides the property-testing surface
+//! the workspace uses: the [`Strategy`] trait (`prop_map`, ranges, tuples,
+//! [`Just`], `any::<T>()`, weighted unions), [`collection::vec`] /
+//! [`collection::btree_set`], and the `proptest!`, `prop_oneof!`,
+//! `prop_assert*!` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! inputs verbatim), and the value stream is a deterministic function of
+//! the test name and case index rather than a persisted failure file. Both
+//! keep failures reproducible, which is what the test-suite relies on.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Deterministic generator state handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor; the harness derives seeds from the test name
+    /// and case index so runs are reproducible.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x5DEE_CE66_D1CE_B00C }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// FNV-1a over a test name, used to derive per-test seeds.
+pub fn seed_for(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Failure raised by `prop_assert*!` or returned from test bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property failed.
+    Fail(String),
+    /// The input was rejected (kept for API compatibility).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection.
+    pub fn reject<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Harness configuration consumed by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Kept for API compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The value type produced.
+    type Value: fmt::Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// A [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between type-erased alternatives (see `prop_oneof!`).
+#[derive(Debug)]
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// Build from `(weight, strategy)` arms. Weights must not all be zero.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = (rng.next_u64() % self.total as u64) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total");
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u128;
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u128 + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($n:tt $S:ident),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_tuples! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for vectors with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for ordered sets with a target size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.clone().generate(rng);
+            let mut out = BTreeSet::new();
+            // Duplicates shrink the set; retry a bounded number of times
+            // like upstream so small domains still reach the target size.
+            let mut tries = 0usize;
+            while out.len() < n && tries < n * 32 + 64 {
+                out.insert(self.element.generate(rng));
+                tries += 1;
+            }
+            out
+        }
+    }
+
+    /// An ordered set of `element` values with size in `size` (best effort
+    /// for small domains).
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        assert!(size.start < size.end, "empty set size range");
+        BTreeSetStrategy { element, size }
+    }
+}
+
+/// Glob import that brings the macros, traits and common types in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Assert a condition inside a property, failing the case (not panicking)
+/// on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "{}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "{} == {} failed: {:?} vs {:?}",
+            stringify!($a), stringify!($b), left, right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "{} ({:?} vs {:?})",
+            format!($($fmt)*), left, right
+        );
+    }};
+}
+
+/// `prop_assert!(a != b)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left != *right,
+            "{} != {} failed: both {:?}",
+            stringify!($a), stringify!($b), left
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left != *right,
+            "{} (both {:?})",
+            format!($($fmt)*), left
+        );
+    }};
+}
+
+/// Weighted (`w => strategy`) or uniform (`strategy, …`) choice.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy)),)+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strategy)),)+
+        ])
+    };
+}
+
+/// Declare property tests. Supports the upstream form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///     #[test]
+///     fn prop(x in 0u64..100, ys in proptest::collection::vec(any::<u8>(), 1..9)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::new($crate::seed_for(stringify!($name), case));
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let inputs = {
+                    let mut s = String::new();
+                    $(s.push_str(&format!("{} = {:?}; ", stringify!($arg), &$arg));)+
+                    s
+                };
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::TestCaseError::Reject(_)) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => panic!(
+                        "property {} failed at case {case}: {msg}\ninputs: {inputs}",
+                        stringify!($name),
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let u = prop_oneof![9 => Just(1u8), 1 => Just(2u8)];
+        let mut rng = TestRng::new(7);
+        let ones = (0..1000).filter(|_| u.generate(&mut rng) == 1).count();
+        assert!(ones > 800, "weight-9 arm should dominate (got {ones})");
+    }
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let (a, b) = (3u64..10, 1usize..=4).generate(&mut rng);
+            assert!((3..10).contains(&a));
+            assert!((1..=4).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_range() {
+        let s = crate::collection::vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_target_on_large_domain() {
+        let s = crate::collection::btree_set(0u64..1_000_000, 10..11);
+        let mut rng = TestRng::new(3);
+        assert_eq!(s.generate(&mut rng).len(), 10);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn harness_runs_bodies(x in 0u32..50, flip in any::<bool>()) {
+            prop_assert!(x < 50);
+            if flip {
+                return Ok(());
+            }
+            prop_assert_ne!(x, 100);
+            prop_assert_eq!(x + 1, x + 1);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_case_and_name() {
+        assert_ne!(crate::seed_for("a", 0), crate::seed_for("a", 1));
+        assert_ne!(crate::seed_for("a", 0), crate::seed_for("b", 0));
+        assert_eq!(crate::seed_for("a", 5), crate::seed_for("a", 5));
+    }
+}
