@@ -1,0 +1,5 @@
+//! Fig. 22 (extension): wall-clock free-path scalability over remote-mix.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::fig_scalability::run_fig22(&scale);
+}

@@ -20,4 +20,5 @@ fn main() {
     e::stripes::run_fig19(&scale);
     e::fig_small::run_fig20(&scale);
     e::fig_large::run_fig21(&scale);
+    e::fig_scalability::run_fig22(&scale);
 }

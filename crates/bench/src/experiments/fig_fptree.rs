@@ -58,6 +58,7 @@ fn run_tree(which: Which, threads: usize, warm: usize, ops: usize) -> BenchMeasu
         threads,
         ops: ops as u64,
         elapsed_ns: elapsed.max(1),
+        wall_ns: 0,
         stats: pool.stats().snapshot(),
         peak_mapped: alloc.peak_mapped_bytes(),
         mapped: alloc.heap_mapped_bytes(),

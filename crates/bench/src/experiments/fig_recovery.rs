@@ -40,6 +40,7 @@ fn recovery_measurement(
         threads: 1,
         ops: nodes as u64,
         elapsed_ns: elapsed_ns as u64,
+        wall_ns: 0,
         stats: img.stats().snapshot(),
         peak_mapped: alloc.peak_mapped_bytes(),
         mapped: alloc.heap_mapped_bytes(),

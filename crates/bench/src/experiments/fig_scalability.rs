@@ -1,0 +1,68 @@
+//! Fig. 22 (extension): wall-clock free-path scalability.
+//!
+//! Every other experiment reports *modelled* time, which deliberately
+//! hides host-side lock contention. This one sweeps thread counts over
+//! the [`nvalloc_workloads::remote_mix`] workload and reports real
+//! wall-clock throughput, which is exactly where the lock-free free fast
+//! path, the per-arena remote-free queues, and the slab reservoirs show
+//! up: with them, adding threads adds throughput; without them, every
+//! free serialises on the arena mutex.
+//!
+//! Honours `--threads a,b,c`, `--ops N` (per-thread allocation count),
+//! `--quick`/`--full`/`--factor`, and `--json`.
+
+use nvalloc::NvConfig;
+use nvalloc_workloads::allocators::create_custom;
+use nvalloc_workloads::{remote_mix, Reporter};
+
+use crate::experiments::{mops_cell, pool_sleep_mb};
+use crate::Scale;
+
+/// Per-arena slab reservoir size used by the sweep (batch carves and
+/// parked retirees; see `NvConfig::slab_reservoir`).
+pub const RESERVOIR: usize = 8;
+
+/// Fraction of frees handed to the ring neighbour.
+pub const REMOTE_FRAC: f64 = 0.4;
+
+/// Fig. 22: remote-mix wall-clock throughput by thread count.
+pub fn run_fig22(scale: &Scale) {
+    let ops = scale.fixed_ops.unwrap_or_else(|| scale.ops(20_000, 1_000));
+    println!(
+        "\n== Fig 22 (wall-clock scalability, remote-mix, {:.0}% remote frees, {ops} allocs/thread) ==",
+        REMOTE_FRAC * 100.0
+    );
+    let mut rep = Reporter::new(&[
+        "threads",
+        "wall Mops/s",
+        "modelled Mops/s",
+        "remote frees %",
+        "free locks/op",
+        "reservoir hit %",
+    ]);
+    for &t in scale.threads() {
+        // One arena per thread (the paper binds arenas to cores), so a
+        // handed-off free really is remote to the freeing thread's arena.
+        let cfg = NvConfig::log().arenas(t).slab_reservoir(RESERVOIR);
+        let alloc = create_custom(pool_sleep_mb(512), cfg, 1 << 18);
+        let m = remote_mix::run(
+            &alloc,
+            remote_mix::Params { threads: t, ops, remote_frac: REMOTE_FRAC, seed: 0x22 },
+        );
+        scale.emit("fig22_scalability", &m);
+        let frees = m.metrics.free_fast_local + m.metrics.free_remote + m.metrics.free_locks;
+        let remote_pct = 100.0 * m.metrics.free_remote as f64 / frees.max(1) as f64;
+        let locks_per_op = m.metrics.free_locks as f64 / frees.max(1) as f64;
+        let reservoir_ops = m.metrics.reservoir_hits + m.metrics.reservoir_misses;
+        let hit_pct = 100.0 * m.metrics.reservoir_hits as f64 / reservoir_ops.max(1) as f64;
+        rep.row(&[
+            &t.to_string(),
+            &mops_cell(m.wall_mops()),
+            &mops_cell(m.mops()),
+            &format!("{remote_pct:.1}"),
+            &format!("{locks_per_op:.4}"),
+            &format!("{hit_pct:.1}"),
+        ]);
+    }
+    print!("{}", rep.render());
+}

@@ -6,6 +6,7 @@ pub mod fig_fptree;
 pub mod fig_frag;
 pub mod fig_large;
 pub mod fig_recovery;
+pub mod fig_scalability;
 pub mod fig_small;
 pub mod fig_space;
 pub mod motivation;
@@ -18,6 +19,13 @@ use nvalloc_pmem::{LatencyMode, PmemConfig, PmemMode, PmemPool};
 /// A virtual-latency ADR pool of `mb` megabytes.
 pub fn pool_mb(mb: usize) -> Arc<PmemPool> {
     PmemPool::new(PmemConfig::default().pool_size(mb << 20).latency_mode(LatencyMode::Virtual))
+}
+
+/// A sleep-latency ADR pool of `mb` megabytes: modelled PM latency is
+/// actually slept off, so wall-clock measurements see overlapping PM
+/// stalls and lock-held stalls serialise (the Fig. 22 scalability run).
+pub fn pool_sleep_mb(mb: usize) -> Arc<PmemPool> {
+    PmemPool::new(PmemConfig::default().pool_size(mb << 20).latency_mode(LatencyMode::Sleep))
 }
 
 /// A virtual-latency eADR pool of `mb` megabytes (§6.7 experiments).

@@ -21,6 +21,9 @@ pub struct Scale {
     pub threads: Vec<usize>,
     /// Destination for machine-readable JSON-lines output (`--json`).
     pub json: Option<PathBuf>,
+    /// Exact per-thread operation count (`--ops`), overriding the scaled
+    /// default in experiments that honour it (currently Fig. 22).
+    pub fixed_ops: Option<usize>,
 }
 
 impl Scale {
@@ -37,6 +40,10 @@ impl Scale {
                 "--factor" => {
                     i += 1;
                     s.factor = args[i].parse().expect("--factor takes a number");
+                }
+                "--ops" => {
+                    i += 1;
+                    s.fixed_ops = Some(args[i].parse().expect("--ops takes a count"));
                 }
                 "--threads" => {
                     i += 1;
@@ -55,7 +62,7 @@ impl Scale {
                     s.json = Some(path);
                 }
                 other => panic!(
-                    "unknown flag {other} (try --quick/--full/--threads 1,2,4/--json out.jsonl)"
+                    "unknown flag {other} (try --quick/--full/--threads 1,2,4/--ops 10000/--json out.jsonl)"
                 ),
             }
             i += 1;
@@ -89,7 +96,7 @@ impl Scale {
 
 impl Default for Scale {
     fn default() -> Scale {
-        Scale { factor: 1.0, threads: vec![1, 2, 4, 8, 16, 32, 64], json: None }
+        Scale { factor: 1.0, threads: vec![1, 2, 4, 8, 16, 32, 64], json: None, fixed_ops: None }
     }
 }
 
@@ -99,9 +106,9 @@ mod tests {
 
     #[test]
     fn scaling_respects_minimum() {
-        let s = Scale { factor: 0.001, threads: vec![1], json: None };
+        let s = Scale { factor: 0.001, ..Scale::default() };
         assert_eq!(s.ops(1000, 10), 10);
-        let s = Scale { factor: 2.0, threads: vec![1], json: None };
+        let s = Scale { factor: 2.0, ..Scale::default() };
         assert_eq!(s.ops(1000, 10), 2000);
     }
 
@@ -113,6 +120,7 @@ mod tests {
             threads: 1,
             ops: 0,
             elapsed_ns: 0,
+            wall_ns: 0,
             stats: Default::default(),
             peak_mapped: 0,
             mapped: 0,

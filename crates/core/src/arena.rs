@@ -20,6 +20,8 @@ use parking_lot::Mutex;
 use nvalloc_pmem::{PmOffset, PmThread, PmemPool};
 
 use crate::geometry::GeometryTable;
+use crate::large::VehId;
+use crate::remote::RemoteFreeQueue;
 use crate::size_class::{ClassId, NUM_CLASSES};
 use crate::slab::VSlab;
 use crate::tcache::TCache;
@@ -45,6 +47,11 @@ pub struct ArenaInner {
     /// LRU over regular (non-`slab_in`) slabs: token → slab offset;
     /// ascending iteration = least recently used first.
     pub lru: BTreeMap<u64, PmOffset>,
+    /// Pre-carved 64 KB slab extents, grabbed from the large allocator in
+    /// batches so refills touch the global large mutex once per batch.
+    /// Volatile only: a crash reclaims reservoir extents as leaks during
+    /// recovery (their headers are scrubbed when they enter the pool).
+    pub reservoir: Vec<(VehId, PmOffset)>,
     next_token: u64,
 }
 
@@ -54,6 +61,7 @@ impl ArenaInner {
             slabs: HashMap::new(),
             freelist: (0..NUM_CLASSES).map(|_| VecDeque::new()).collect(),
             lru: BTreeMap::new(),
+            reservoir: Vec::new(),
             next_token: 1,
         }
     }
@@ -64,6 +72,7 @@ impl ArenaInner {
         let class = vslab.class;
         self.touch_lru(&mut vslab);
         if vslab.nfree > 0 {
+            vslab.in_freelist = true;
             self.freelist[class].push_back(off);
         }
         self.slabs.insert(off, vslab);
@@ -103,9 +112,33 @@ impl ArenaInner {
     }
 
     /// Drop a slab from the freelist of `class` (e.g. it is now full or is
-    /// morphing away).
+    /// morphing away). O(1): only the slab's `in_freelist` flag is
+    /// cleared; the stale deque entry is discarded lazily when a pop
+    /// reaches it (checked against the flag and the slab's current class).
     pub fn freelist_remove(&mut self, class: ClassId, off: PmOffset) {
-        self.freelist[class].retain(|&o| o != off);
+        let _ = class;
+        if let Some(vs) = self.slabs.get_mut(&off) {
+            vs.in_freelist = false;
+        }
+    }
+
+    /// Link a slab into its class freelist unless it already has a live
+    /// entry there.
+    pub fn freelist_push(&mut self, class: ClassId, off: PmOffset) {
+        if let Some(vs) = self.slabs.get_mut(&off) {
+            debug_assert_eq!(vs.class, class);
+            if !vs.in_freelist {
+                vs.in_freelist = true;
+                self.freelist[class].push_back(off);
+            }
+        }
+    }
+
+    /// Whether `off` is logically linked in the freelist of `class`
+    /// (deques may additionally hold stale entries awaiting lazy discard).
+    #[allow(dead_code)] // exercised by the morph unit tests
+    pub fn freelist_contains(&self, class: ClassId, off: PmOffset) -> bool {
+        self.slabs.get(&off).is_some_and(|vs| vs.in_freelist && vs.class == class)
     }
 
     /// Fill `tcache` for `class` from freelist slabs until the tcache is
@@ -121,8 +154,14 @@ impl ArenaInner {
         let mut filled = 0;
         while !tcache.is_full(class) {
             let Some(&slab_off) = self.freelist[class].front() else { break };
-            let vs = self.slabs.get_mut(&slab_off).expect("freelist slab exists");
-            debug_assert_eq!(vs.class, class);
+            // Lazy discard: entries whose slab was removed, re-classed, or
+            // logically unlinked (flag cleared) are stale.
+            let Some(vs) =
+                self.slabs.get_mut(&slab_off).filter(|v| v.in_freelist && v.class == class)
+            else {
+                self.freelist[class].pop_front();
+                continue;
+            };
             match vs.take_block() {
                 Some(i) => {
                     let addr = vs.block_addr(i);
@@ -131,10 +170,12 @@ impl ArenaInner {
                     debug_assert!(ok, "tcache was checked non-full");
                     filled += 1;
                     if vs.nfree == 0 {
+                        vs.in_freelist = false;
                         self.freelist[class].pop_front();
                     }
                 }
                 None => {
+                    vs.in_freelist = false;
                     self.freelist[class].pop_front();
                 }
             }
@@ -153,24 +194,23 @@ impl ArenaInner {
     /// completely free (caller should consider destroying it).
     pub fn return_block_to_slab(&mut self, slab_off: PmOffset, block_idx: usize) -> bool {
         let vs = self.slabs.get_mut(&slab_off).expect("slab exists");
-        let was_exhausted = vs.nfree == 0;
         vs.release_block(block_idx);
         let class = vs.class;
         let free_now = vs.is_completely_free();
-        if was_exhausted {
-            self.freelist[class].push_back(slab_off);
-        }
+        self.freelist_push(class, slab_off);
         self.touch(slab_off);
         free_now
     }
 
-    /// Unregister a completely-free slab, returning its vslab.
+    /// Unregister a completely-free slab, returning its vslab. O(1): any
+    /// deque entry the slab still has goes stale (its offset no longer
+    /// resolves in `slabs`) and is discarded lazily on pop.
     pub fn remove_slab(&mut self, off: PmOffset) -> VSlab {
-        let vs = self.slabs.remove(&off).expect("slab exists");
+        let mut vs = self.slabs.remove(&off).expect("slab exists");
         if vs.lru_token != 0 {
             self.lru.remove(&vs.lru_token);
         }
-        self.freelist[vs.class].retain(|&o| o != off);
+        vs.in_freelist = false;
         vs
     }
 
@@ -210,6 +250,9 @@ pub struct Arena {
     pub wal_next_micro: AtomicUsize,
     /// Slab structures.
     pub inner: Mutex<ArenaInner>,
+    /// Deferred cross-arena frees (volatile bookkeeping only), drained by
+    /// owner threads under `inner`.
+    pub remote: RemoteFreeQueue,
     /// Number of threads currently assigned (least-loaded assignment).
     pub threads: AtomicUsize,
 }
@@ -231,6 +274,7 @@ impl Arena {
             wal,
             wal_next_micro: AtomicUsize::new(0),
             inner: Mutex::new(ArenaInner::new()),
+            remote: RemoteFreeQueue::new(),
             threads: AtomicUsize::new(0),
         }
     }
@@ -246,6 +290,7 @@ impl Arena {
             wal,
             wal_next_micro: AtomicUsize::new(0),
             inner: Mutex::new(ArenaInner::new()),
+            remote: RemoteFreeQueue::new(),
             threads: AtomicUsize::new(0),
         }
     }

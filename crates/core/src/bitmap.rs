@@ -120,6 +120,29 @@ impl PmBitmap {
         pool.fence(t);
     }
 
+    /// Atomically clear block `i`'s bit, persistently, returning the bit's
+    /// previous value. The atomic word RMW makes this safe without any
+    /// lock: of two racing clears of the same bit, exactly one observes
+    /// `true` (the lock-free free path's double-free detection).
+    pub fn clear_persist_fetch(&self, pool: &PmemPool, t: &mut PmThread, i: usize) -> bool {
+        let (word, bit) = self.layout.word_location(i);
+        let off = self.base + word as u64;
+        let prev = pool.fetch_and_u64(off, !(1 << bit));
+        pool.charge_store(t, off, 8);
+        pool.flush(t, off, 8, FlushKind::Meta);
+        pool.fence(t);
+        prev >> bit & 1 == 1
+    }
+
+    /// Atomically clear block `i`'s bit without persisting, returning its
+    /// previous value (GC-variant counterpart of
+    /// [`PmBitmap::clear_persist_fetch`]).
+    pub fn clear_volatile_fetch(&self, pool: &PmemPool, i: usize) -> bool {
+        let (word, bit) = self.layout.word_location(i);
+        let prev = pool.fetch_and_u64(self.base + word as u64, !(1 << bit));
+        prev >> bit & 1 == 1
+    }
+
     /// Set or clear without persisting (used by the GC variant, which skips
     /// runtime metadata flushes entirely, and by recovery rebuilds).
     pub fn write_volatile(&self, pool: &PmemPool, i: usize, value: bool) {

@@ -71,6 +71,15 @@ pub struct NvConfig {
     pub arenas: usize,
     /// Max cached blocks per tcache size class.
     pub tcache_cap: usize,
+    /// Per-arena slab reservoir size: slab frames are carved from the
+    /// large allocator in batches of this many, so the global large mutex
+    /// is touched once per batch, and retired frames are parked here for
+    /// reuse instead of being returned. `0` disables the reservoir
+    /// (every carve and retire goes through the large allocator, the
+    /// pre-reservoir behaviour). Reserved frames survive only in volatile
+    /// state; after a crash, recovery reclaims them as leaked slab
+    /// extents.
+    pub slab_reservoir: usize,
     /// WAL capacity per arena, in entries.
     pub wal_entries: usize,
     /// Number of 8-byte root slots to reserve.
@@ -104,6 +113,7 @@ impl NvConfig {
             usage_pmem: 0.002,
             arenas: 4,
             tcache_cap: 64,
+            slab_reservoir: 0,
             wal_entries: 4096,
             roots: 1 << 16,
             booklog_bytes: 4 << 20,
@@ -205,6 +215,12 @@ impl NvConfig {
     /// Enable/disable internal telemetry recording.
     pub fn telemetry(mut self, on: bool) -> Self {
         self.telemetry = on;
+        self
+    }
+
+    /// Set the per-arena slab reservoir size (0 disables it).
+    pub fn slab_reservoir(mut self, n: usize) -> Self {
+        self.slab_reservoir = n;
         self
     }
 

@@ -26,11 +26,12 @@ use crate::arena::{arena_state, Arena};
 use crate::bitmap::PmBitmap;
 use crate::config::{NvConfig, Variant};
 use crate::geometry::GeometryTable;
-use crate::large::{LargeAlloc, LargeConfig, REGION_BYTES};
+use crate::large::{LargeAlloc, LargeConfig, VehId, REGION_BYTES};
 use crate::morph;
+use crate::remote::{RemoteFree, SlabGates};
 use crate::rtree::{Owner, RTree};
 use crate::size_class::{class_size, size_to_class, ClassId, SLAB_SIZE};
-use crate::slab::{SlabHeader, VSlab};
+use crate::slab::{flag, SlabHeader, VSlab};
 use crate::tcache::TCache;
 use crate::telemetry::{CoreMetrics, Counter, MetricsSnapshot, OpHistograms, OpKind, TcacheEvent};
 use crate::wal::{MicroWal, WalOp, WalRegion, MICRO_ENTRIES};
@@ -148,6 +149,79 @@ pub(crate) struct NvInner {
     pub live_bytes: AtomicUsize,
     pub wal_seq: AtomicU64,
     pub metrics: CoreMetrics,
+    /// Per-slab shared/exclusive gates arbitrating the lock-free free
+    /// fast path against slab layout changes (morph, retire).
+    pub slab_gates: SlabGates,
+}
+
+impl NvInner {
+    /// Drain `arena`'s deferred cross-arena frees into its slabs. The
+    /// caller holds `ai` (the arena's lock), which makes it the queue's
+    /// single consumer.
+    pub(crate) fn drain_remote(
+        &self,
+        t: &mut PmThread,
+        arena: &Arena,
+        ai: &mut crate::arena::ArenaInner,
+    ) -> usize {
+        let items = arena.remote.drain();
+        if items.is_empty() {
+            return 0;
+        }
+        self.metrics.bump(Counter::RemoteDrainBatches);
+        self.metrics.add(Counter::RemoteDrained, items.len() as u64);
+        for f in &items {
+            let idx = f.idx as usize;
+            // The persistent free already happened on the freeing thread;
+            // only the volatile return-to-slab is deferred. Entries whose
+            // slab vanished in the meantime are stale and ignorable.
+            let valid = ai.slabs.get(&f.slab).is_some_and(|v| idx < v.nblocks && v.is_taken(idx));
+            if !valid {
+                continue;
+            }
+            if ai.return_block_to_slab(f.slab, idx) {
+                let _ = self.destroy_or_reserve(t, ai, f.slab);
+            }
+        }
+        items.len()
+    }
+
+    /// Retire `slab_off` if it is completely free: dismantle it under its
+    /// exclusive gate, then park the frame in the arena's reservoir
+    /// (header scrubbed, so crash recovery reclaims it as a leaked slab
+    /// extent) or return it to the large allocator. Caller holds the
+    /// arena lock.
+    pub(crate) fn destroy_or_reserve(
+        &self,
+        t: &mut PmThread,
+        ai: &mut crate::arena::ArenaInner,
+        slab_off: PmOffset,
+    ) -> PmResult<()> {
+        if !ai.slabs.get(&slab_off).is_some_and(|v| v.is_completely_free()) {
+            return Ok(());
+        }
+        // Spin out in-flight pinned frees and divert new ones to the
+        // locked path while the frame is dismantled. Pin sections never
+        // wait on the arena lock (held here), so this cannot deadlock.
+        self.slab_gates.lock(slab_off);
+        let vs = ai.remove_slab(slab_off);
+        self.metrics.bump(Counter::SlabRetires);
+        let res = if ai.reservoir.len() < self.cfg.slab_reservoir {
+            // Scrub the header magic and hide the frame from address
+            // lookups: until it is re-carved it must be invisible to
+            // frees, and a crash image reclaims it as a leak.
+            self.pool.persist_u64(t, slab_off, 0, FlushKind::Meta);
+            self.rtree.remove_range(slab_off, SLAB_SIZE);
+            ai.reservoir.push((vs.veh, slab_off));
+            Ok(())
+        } else {
+            // large.free re-registers nothing; it removes the range
+            // (which the slab owner entry overwrote) from the rtree.
+            self.large.lock().free(&self.pool, t, vs.veh)
+        };
+        self.slab_gates.unlock(slab_off);
+        res
+    }
 }
 
 impl std::fmt::Debug for NvInner {
@@ -206,6 +280,7 @@ impl NvAllocator {
         pool.persist_u64(&mut t, 0, POOL_MAGIC, FlushKind::Meta);
 
         let metrics = CoreMetrics::new(cfg.telemetry);
+        let slab_gates = SlabGates::new(pool.size());
         Ok(NvAllocator(Arc::new(NvInner {
             pool,
             cfg,
@@ -217,6 +292,7 @@ impl NvAllocator {
             live_bytes: AtomicUsize::new(0),
             wal_seq: AtomicU64::new(1),
             metrics,
+            slab_gates,
         })))
     }
 
@@ -248,11 +324,14 @@ impl NvAllocator {
         &self.0.cfg
     }
 
-    /// Slab-occupancy histogram across all arenas (Fig. 15b).
+    /// Slab-occupancy histogram across all arenas (Fig. 15b). Drains any
+    /// deferred cross-arena frees first so the histogram reflects them.
     pub fn slab_utilization(&self, bins: &[f64]) -> SlabUtilization {
+        let mut t = self.0.pool.register_thread();
         let mut counts = vec![0usize; bins.len() + 1];
         for a in &self.0.arenas {
-            let inner = a.inner.lock();
+            let mut inner = a.inner.lock();
+            self.0.drain_remote(&mut t, a, &mut inner);
             for (i, c) in inner.occupancy_histogram(bins).into_iter().enumerate() {
                 counts[i] += c;
             }
@@ -396,7 +475,8 @@ impl PmAllocator for NvAllocator {
         // tables (the GC variant never flushed them at runtime), and the
         // root region.
         for a in &self.0.arenas {
-            let inner = a.inner.lock();
+            let mut inner = a.inner.lock();
+            self.0.drain_remote(&mut t, a, &mut inner);
             for vs in inner.slabs.values() {
                 pool.flush(&mut t, vs.off, vs.data_offset, FlushKind::Meta);
             }
@@ -516,13 +596,19 @@ impl NvThread {
         Ok(addr)
     }
 
-    /// Refill the tcache for `class`: freelist slabs → slab morphing → a
-    /// fresh slab from the large allocator (§4.2).
+    /// Refill the tcache for `class`: remote-free drain → freelist slabs →
+    /// slab morphing → a slab frame from the reservoir or the large
+    /// allocator (§4.2).
     fn refill(&mut self, class: ClassId) -> PmResult<()> {
-        let inner = &self.inner;
+        let inner = Arc::clone(&self.inner);
         let pool = &inner.pool;
         inner.metrics.tcache_event(class, TcacheEvent::Refill);
-        let mut ai = self.arena.inner.lock();
+        let arena = Arc::clone(&self.arena);
+        let mut ai = arena.inner.lock();
+        // Drain deferred cross-arena frees first: remote-freed blocks are
+        // the cheapest refill source, and draining on every refill keeps
+        // the queue bounded by the refill cadence.
+        inner.drain_remote(&mut self.pm, &arena, &mut ai);
         if ai.fill_tcache(&inner.geoms, class, &mut self.tcache) > 0 {
             return Ok(());
         }
@@ -535,6 +621,7 @@ impl NvThread {
                 &inner.geoms,
                 inner.cfg.su_threshold,
                 class,
+                Some(&inner.slab_gates),
                 &inner.metrics,
             )
             .is_some();
@@ -545,10 +632,9 @@ impl NvThread {
                 }
             }
         }
-        // New slab via a large allocation (64 KB aligned).
-        let (veh, off) =
-            inner.large.lock().alloc_aligned(pool, &mut self.pm, SLAB_SIZE, SLAB_SIZE, true)?;
-        inner.metrics.bump(Counter::SlabAllocs);
+        // New slab frame (64 KB aligned): reservoir first, then the
+        // large allocator.
+        let (veh, off) = self.acquire_slab_frame(&inner, &mut ai)?;
         inner.rtree.insert_range(
             off,
             SLAB_SIZE,
@@ -560,7 +646,169 @@ impl NvThread {
         Ok(())
     }
 
+    /// Pop a pre-carved slab frame from the arena's reservoir, refilling
+    /// the reservoir with one batched carve on a miss so the global large
+    /// mutex is touched once per `cfg.slab_reservoir` frames. Reserved
+    /// frames have scrubbed headers and no rtree range: they are invisible
+    /// to frees, and a crash image reclaims them as leaked slab extents.
+    fn acquire_slab_frame(
+        &mut self,
+        inner: &NvInner,
+        ai: &mut crate::arena::ArenaInner,
+    ) -> PmResult<(VehId, PmOffset)> {
+        let pool = &inner.pool;
+        let batch = inner.cfg.slab_reservoir;
+        if batch == 0 {
+            inner.metrics.bump(Counter::SlabAllocs);
+            return inner.large.lock().alloc_aligned(
+                pool,
+                &mut self.pm,
+                SLAB_SIZE,
+                SLAB_SIZE,
+                true,
+            );
+        }
+        if let Some(frame) = ai.reservoir.pop() {
+            inner.metrics.bump(Counter::ReservoirHits);
+            return Ok(frame);
+        }
+        inner.metrics.bump(Counter::ReservoirMisses);
+        let mut large = inner.large.lock();
+        let first = large.alloc_aligned(pool, &mut self.pm, SLAB_SIZE, SLAB_SIZE, true)?;
+        inner.metrics.bump(Counter::SlabAllocs);
+        for _ in 1..batch {
+            let Ok((veh, off)) =
+                large.alloc_aligned(pool, &mut self.pm, SLAB_SIZE, SLAB_SIZE, true)
+            else {
+                break; // partial batch: serve what we got
+            };
+            inner.metrics.bump(Counter::SlabAllocs);
+            pool.persist_u64(&mut self.pm, off, 0, FlushKind::Meta);
+            inner.rtree.remove_range(off, SLAB_SIZE);
+            ai.reservoir.push((veh, off));
+        }
+        Ok(first)
+    }
+
     fn free_small(
+        &mut self,
+        slab_off: PmOffset,
+        arena_id: u32,
+        addr: PmOffset,
+        dest: PmOffset,
+    ) -> PmResult<()> {
+        if let Some(r) = self.try_fast_free_small(slab_off, arena_id, addr, dest) {
+            return r;
+        }
+        self.free_small_locked(slab_off, arena_id, addr, dest)
+    }
+
+    /// Lock-free free fast path. The common case — a well-formed free of a
+    /// regular (non-morphing) slab's block that fits the local tcache or
+    /// targets a remote arena — completes every persistent transition (WAL
+    /// append, atomic bitmap clear, destination zeroing) without taking a
+    /// single mutex; only the volatile return-to-slab is deferred (own
+    /// tcache, or the owner arena's remote-free queue). Returns `None` to
+    /// divert to the locked slow path.
+    fn try_fast_free_small(
+        &mut self,
+        slab_off: PmOffset,
+        arena_id: u32,
+        addr: PmOffset,
+        dest: PmOffset,
+    ) -> Option<PmResult<()>> {
+        let inner = Arc::clone(&self.inner);
+        if !inner.slab_gates.try_pin(slab_off) {
+            return None; // layout change in flight: take the locked path
+        }
+        let out = self.fast_free_pinned(&inner, slab_off, arena_id, addr, dest);
+        inner.slab_gates.unpin(slab_off);
+        out
+    }
+
+    /// Body of the lock-free free, executed while `slab_off`'s gate is
+    /// pinned (so no morph or retire can change the slab's layout
+    /// underneath it).
+    fn fast_free_pinned(
+        &mut self,
+        inner: &NvInner,
+        slab_off: PmOffset,
+        arena_id: u32,
+        addr: PmOffset,
+        dest: PmOffset,
+    ) -> Option<PmResult<()>> {
+        let pool = &inner.pool;
+        // Re-verify ownership now that the pin excludes layout changes:
+        // the slab could have been retired and its frame reused between
+        // the caller's rtree lookup and the pin.
+        match inner.rtree.lookup(addr).map(Owner::unpack) {
+            Some(Owner::Slab { slab, arena }) if slab == slab_off && arena == arena_id => {}
+            _ => return Some(Err(PmError::NotAllocated)),
+        }
+        let h = SlabHeader::read(pool, slab_off)?;
+        if h.flag != flag::NONE || h.is_morphed() {
+            return None; // morphing slabs take the locked path (§5.2)
+        }
+        let class = h.class as usize;
+        if class >= crate::size_class::NUM_CLASSES {
+            return None;
+        }
+        let g = inner.geoms.of(class);
+        let rel = addr.checked_sub(slab_off + h.data_offset as u64)?;
+        if rel % g.block_size as u64 != 0 {
+            return None;
+        }
+        let idx = (rel / g.block_size as u64) as usize;
+        if idx >= g.nblocks_at(h.data_offset as usize) {
+            return None;
+        }
+        let local = arena_id == self.arena.id;
+        if local && self.tcache.is_full(class) {
+            return None; // overflow: the block must return to its slab
+        }
+        let owner = if local {
+            None
+        } else {
+            // Resolve the owner arena up front so nothing fails after the
+            // persistent free below.
+            Some(Arc::clone(inner.arenas.get(arena_id as usize)?))
+        };
+        let bm = PmBitmap::new(slab_off + g.bitmap_off as u64, g.bitmap);
+        if !bm.get(pool, idx) {
+            return Some(Err(PmError::NotAllocated));
+        }
+        let strong = self.strong();
+        if self.use_small_wal() {
+            self.wal_append(WalOp::Free, addr, dest, 0);
+        }
+        // The atomic word RMW arbitrates racing frees of the same block:
+        // exactly one clearer observes the bit still set.
+        let prev = if strong {
+            bm.clear_persist_fetch(pool, &mut self.pm, idx)
+        } else {
+            bm.clear_volatile_fetch(pool, idx)
+        };
+        if !prev {
+            return Some(Err(PmError::NotAllocated));
+        }
+        self.write_dest(dest, 0, strong);
+        inner.live_bytes.fetch_sub(class_size(class), Ordering::Relaxed);
+        if local {
+            let stripe = g.bitmap.stripe_of(idx);
+            let pushed = self.tcache.push(class, addr, stripe);
+            debug_assert!(pushed, "tcache checked non-full above");
+            inner.metrics.bump(Counter::FreeFastLocal);
+        } else {
+            let arena = owner.expect("resolved above");
+            arena.remote.push(RemoteFree { slab: slab_off, idx: idx as u32 });
+            inner.metrics.bump(Counter::FreeRemote);
+        }
+        Some(Ok(()))
+    }
+
+    /// Locked free slow path: tcache overflow, morphing slabs, and every
+    /// ill-formed request diverted by the fast path.
+    fn free_small_locked(
         &mut self,
         slab_off: PmOffset,
         arena_id: u32,
@@ -573,6 +821,7 @@ impl NvThread {
         let arena =
             inner.arenas.get(arena_id as usize).ok_or(PmError::Corrupt("bad arena id in rtree"))?;
         let mut ai = arena.inner.lock();
+        inner.metrics.bump(Counter::FreeLocks);
 
         // Old-class block of a morphing slab? Released directly, bypassing
         // the tcache (§5.2).
@@ -621,22 +870,14 @@ impl NvThread {
         Ok(())
     }
 
-    /// Destroy `slab_off` if it is completely free: unregister and return
-    /// its extent. Caller holds the arena lock.
+    /// Destroy `slab_off` if it is completely free: unregister it and
+    /// reserve or return its extent. Caller holds the arena lock.
     fn maybe_destroy_slab(
         &mut self,
         ai: &mut crate::arena::ArenaInner,
         slab_off: PmOffset,
     ) -> PmResult<()> {
-        let free = ai.slabs.get(&slab_off).is_some_and(|v| v.is_completely_free());
-        if !free {
-            return Ok(());
-        }
-        let vs = ai.remove_slab(slab_off);
-        self.inner.metrics.bump(Counter::SlabRetires);
-        // large.free re-registers nothing; it removes the range (which we
-        // overwrote with a slab owner) from the rtree.
-        self.inner.large.lock().free(&self.inner.pool, &mut self.pm, vs.veh)
+        self.inner.destroy_or_reserve(&mut self.pm, ai, slab_off)
     }
 
     // ----- large path -----
@@ -669,19 +910,21 @@ impl NvThread {
     ) -> PmResult<()> {
         let inner = Arc::clone(&self.inner);
         let pool = &inner.pool;
-        {
-            let large = inner.large.lock();
-            let v = large.veh(veh).ok_or(PmError::NotAllocated)?;
-            if v.off != addr {
-                return Err(PmError::NotAllocated);
-            }
+        // One critical section: validate, log, zero the destination, and
+        // free, all under a single lock acquisition (the old
+        // validate/relock dance also left a window where a racing free
+        // could recycle the VEH between the two sections).
+        inner.metrics.bump(Counter::FreeLocks);
+        let mut large = inner.large.lock();
+        let v = large.veh(veh).ok_or(PmError::NotAllocated)?;
+        if v.off != addr {
+            return Err(PmError::NotAllocated);
         }
+        let size = v.size;
         if self.use_large_wal() {
             self.wal_append(WalOp::Free, addr, dest, 0);
         }
         self.write_dest(dest, 0, true);
-        let mut large = inner.large.lock();
-        let size = large.veh(veh).map(|v| v.size).unwrap_or(0);
         large.free(pool, &mut self.pm, veh)?;
         drop(large);
         inner.live_bytes.fetch_sub(size, Ordering::Relaxed);
@@ -748,6 +991,11 @@ impl AllocThread for NvThread {
                 }
             }
         }
+        // Drain our own arena's deferred frees too: a departing thread
+        // must not leave queued blocks' volatile state stranded.
+        let arena = Arc::clone(&self.arena);
+        let mut ai = arena.inner.lock();
+        inner.drain_remote(&mut self.pm, &arena, &mut ai);
     }
 
     fn pm(&self) -> &PmThread {

@@ -58,6 +58,7 @@ mod interleave;
 mod large;
 mod morph;
 mod recovery;
+mod remote;
 mod rtree;
 mod size_class;
 mod slab;

@@ -23,6 +23,7 @@ use nvalloc_pmem::{FlushKind, PmError, PmOffset, PmResult, PmThread, PmemPool};
 
 use crate::arena::ArenaInner;
 use crate::geometry::GeometryTable;
+use crate::remote::SlabGates;
 use crate::size_class::{class_size, ClassId};
 use crate::slab::{
     flag, header_word1, persist_flag, persist_index_entry, IndexEntry, MorphState, NO_OLD_CLASS,
@@ -60,7 +61,14 @@ fn plan_layout(
 /// morphed slab is already linked into `freelist[new_class]` and its offset
 /// is returned.
 ///
+/// When `gates` is provided, the candidate's slab gate is held exclusively
+/// from before the bitmap scan until the transform completes, so a
+/// lock-free free cannot mutate the bitmap between planning and applying
+/// (which would record a freed block as live in the index table). Slabs
+/// with in-flight pinned frees are simply skipped.
+///
 /// Returns `None` when no eligible candidate exists.
+#[allow(clippy::too_many_arguments)]
 pub fn try_morph(
     pool: &PmemPool,
     t: &mut PmThread,
@@ -68,13 +76,18 @@ pub fn try_morph(
     geoms: &GeometryTable,
     su_threshold: f64,
     new_class: ClassId,
+    gates: Option<&SlabGates>,
     metrics: &CoreMetrics,
 ) -> Option<PmOffset> {
-    let (examined, plan) = find_candidate(pool, inner, geoms, su_threshold, new_class);
+    let (examined, plan) = find_candidate(pool, inner, geoms, su_threshold, new_class, gates);
     metrics.add(Counter::MorphCandidates, examined);
     let plan = plan?;
+    let slab = plan.slab;
     metrics.bump(Counter::MorphStarted);
     let done = apply(pool, t, inner, geoms, new_class, plan);
+    if let Some(g) = gates {
+        g.unlock(slab);
+    }
     if done.is_some() {
         metrics.bump(Counter::MorphCompleted);
     }
@@ -89,6 +102,7 @@ fn find_candidate(
     geoms: &GeometryTable,
     su_threshold: f64,
     new_class: ClassId,
+    gates: Option<&SlabGates>,
 ) -> (u64, Option<MorphPlan>) {
     let mut examined = 0u64;
     // LRU scan, least recently used first (§5.2).
@@ -101,44 +115,69 @@ fn find_candidate(
         if vs.occupancy() >= su_threshold {
             continue;
         }
-        // All unavailable blocks must be persistent allocations; blocks
-        // parked in tcaches make the slab ineligible (their space may be
-        // handed out at any moment without taking the arena lock).
-        let pbm = vs.pbitmap(geoms);
-        let live: Vec<u16> =
-            pbm.scan_set(pool).into_iter().filter(|&i| i < vs.nblocks).map(|i| i as u16).collect();
-        if live.len() != vs.nblocks - vs.nfree {
-            continue; // tcache-cached blocks present
+        // Take the slab's gate before reading the bitmap: a lock-free
+        // free landing between this scan and the transform would be
+        // recorded as live in the index table. A pinned gate (in-flight
+        // fast free) makes the slab ineligible this round.
+        if let Some(g) = gates {
+            if !g.try_lock(off) {
+                continue;
+            }
         }
-        let (index_off, new_data_offset, new_nblocks) = plan_layout(geoms, new_class, live.len());
-        if new_nblocks == 0 {
-            continue;
+        match evaluate(pool, vs, geoms, new_class, off) {
+            Some(plan) => return (examined, Some(plan)),
+            None => {
+                if let Some(g) = gates {
+                    g.unlock(off);
+                }
+            }
         }
-        // The new header must not overlap live old-block data (§5.2: "a
-        // slab will not be selected if the new header space is overlapped
-        // with block spaces having live data").
-        let old_bs = class_size(vs.class);
-        let overlaps = live.iter().any(|&i| {
-            let start = vs.data_offset + i as usize * old_bs;
-            start < new_data_offset
-        });
-        if overlaps {
-            continue;
-        }
-        return (
-            examined,
-            Some(MorphPlan {
-                slab: off,
-                old_class: vs.class,
-                old_data_offset: vs.data_offset,
-                live,
-                index_off,
-                new_data_offset,
-                new_nblocks,
-            }),
-        );
     }
     (examined, None)
+}
+
+/// Evaluate one gate-held candidate: bitmap scan plus layout checks.
+fn evaluate(
+    pool: &PmemPool,
+    vs: &crate::slab::VSlab,
+    geoms: &GeometryTable,
+    new_class: ClassId,
+    off: PmOffset,
+) -> Option<MorphPlan> {
+    // All unavailable blocks must be persistent allocations; blocks
+    // parked in thread caches or remote-free queues make the slab
+    // ineligible (their space may be handed out or returned at any
+    // moment without taking the arena lock).
+    let pbm = vs.pbitmap(geoms);
+    let live: Vec<u16> =
+        pbm.scan_set(pool).into_iter().filter(|&i| i < vs.nblocks).map(|i| i as u16).collect();
+    if live.len() != vs.nblocks - vs.nfree {
+        return None; // tcache-cached blocks present
+    }
+    let (index_off, new_data_offset, new_nblocks) = plan_layout(geoms, new_class, live.len());
+    if new_nblocks == 0 {
+        return None;
+    }
+    // The new header must not overlap live old-block data (§5.2: "a
+    // slab will not be selected if the new header space is overlapped
+    // with block spaces having live data").
+    let old_bs = class_size(vs.class);
+    let overlaps = live.iter().any(|&i| {
+        let start = vs.data_offset + i as usize * old_bs;
+        start < new_data_offset
+    });
+    if overlaps {
+        return None;
+    }
+    Some(MorphPlan {
+        slab: off,
+        old_class: vs.class,
+        old_data_offset: vs.data_offset,
+        live,
+        index_off,
+        new_data_offset,
+        new_nblocks,
+    })
 }
 
 /// Execute the three-step transform and rebuild the volatile state.
@@ -222,7 +261,7 @@ fn apply(
     vs.resync_from_persistent(pool, geoms);
 
     if vs.nfree > 0 {
-        inner.freelist[new_class].push_back(off);
+        inner.freelist_push(new_class, off);
     }
     Some(off)
 }
@@ -325,7 +364,7 @@ pub fn release_old_block(
         inner.touch(slab_off);
     }
     if was_exhausted && has_free {
-        inner.freelist[class].push_back(slab_off);
+        inner.freelist_push(class, slab_off);
     }
     Ok(finished)
 }
@@ -376,15 +415,15 @@ mod tests {
         let small = size_to_class(100).unwrap();
         let big = size_to_class(1500).unwrap();
         let (mut inner, _) = arena_with_slab(&p, &mut t, &g, small, &[]);
-        let off = try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &CoreMetrics::new(true))
+        let off = try_morph(&p, &mut t, &mut inner, &g, 0.2, big, None, &CoreMetrics::new(true))
             .expect("morphs");
         assert_eq!(off, 0);
         let vs = &inner.slabs[&0];
         assert_eq!(vs.class, big);
         assert!(vs.morph.is_some());
         assert_eq!(vs.morph.as_ref().unwrap().cnt_slab, 0);
-        assert!(inner.freelist[big].contains(&0));
-        assert!(!inner.freelist[small].contains(&0));
+        assert!(inner.freelist_contains(big, 0));
+        assert!(!inner.freelist_contains(small, 0));
         // Header reflects the new class with flag reset.
         let h = SlabHeader::read(&p, 0).unwrap();
         assert_eq!(h.class as usize, big);
@@ -404,7 +443,8 @@ mod tests {
         let nb = g.of(small).nblocks;
         let live = [nb / 2, nb / 2 + 4, nb / 2 + 8];
         let (mut inner, addrs) = arena_with_slab(&p, &mut t, &g, small, &live);
-        try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &CoreMetrics::new(true)).expect("morphs");
+        try_morph(&p, &mut t, &mut inner, &g, 0.2, big, None, &CoreMetrics::new(true))
+            .expect("morphs");
         let vs = &inner.slabs[&0];
         let m = vs.morph.as_ref().unwrap();
         assert_eq!(m.cnt_slab, 3);
@@ -440,7 +480,8 @@ mod tests {
         // 30% occupancy > SU=20%.
         let live: Vec<usize> = (0..(nb * 3 / 10)).map(|k| nb - 1 - k).collect();
         let (mut inner, _) = arena_with_slab(&p, &mut t, &g, small, &live);
-        assert!(try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &CoreMetrics::new(true)).is_none());
+        assert!(try_morph(&p, &mut t, &mut inner, &g, 0.2, big, None, &CoreMetrics::new(true))
+            .is_none());
     }
 
     #[test]
@@ -456,7 +497,8 @@ mod tests {
         let mut tc = TCache::new(6, 8);
         inner.fill_tcache(&g, small, &mut tc);
         assert!(
-            try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &CoreMetrics::new(true)).is_none(),
+            try_morph(&p, &mut t, &mut inner, &g, 0.2, big, None, &CoreMetrics::new(true))
+                .is_none(),
             "slab with tcache-cached blocks must be ineligible"
         );
     }
@@ -471,7 +513,8 @@ mod tests {
         // Block 0 sits right after the old header — inside the new header
         // area (which is at least as large).
         let (mut inner, _) = arena_with_slab(&p, &mut t, &g, small, &[0]);
-        assert!(try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &CoreMetrics::new(true)).is_none());
+        assert!(try_morph(&p, &mut t, &mut inner, &g, 0.2, big, None, &CoreMetrics::new(true))
+            .is_none());
     }
 
     #[test]
@@ -484,7 +527,7 @@ mod tests {
         let nb = g.of(small).nblocks;
         let live = [nb - 1, nb - 3];
         let (mut inner, addrs) = arena_with_slab(&p, &mut t, &g, small, &live);
-        try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &CoreMetrics::new(true)).unwrap();
+        try_morph(&p, &mut t, &mut inner, &g, 0.2, big, None, &CoreMetrics::new(true)).unwrap();
 
         assert!(find_old_block(&inner, 0, addrs[0]).is_some());
         let done = release_old_block(&p, &mut t, &mut inner, 0, addrs[0]).unwrap();
@@ -512,7 +555,7 @@ mod tests {
         let big = size_to_class(1200).unwrap();
         let nb = g.of(small).nblocks;
         let (mut inner, addrs) = arena_with_slab(&p, &mut t, &g, small, &[nb / 2]);
-        try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &CoreMetrics::new(true)).unwrap();
+        try_morph(&p, &mut t, &mut inner, &g, 0.2, big, None, &CoreMetrics::new(true)).unwrap();
         let free_before = inner.slabs[&0].nfree;
         release_old_block(&p, &mut t, &mut inner, 0, addrs[0]).unwrap();
         let free_after = inner.slabs[&0].nfree;
@@ -535,7 +578,7 @@ mod tests {
         let big = size_to_class(1200).unwrap();
         let nb = g.of(small).nblocks;
         let (mut inner, _) = arena_with_slab(&p, &mut t, &g, small, &[nb - 1]);
-        try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &CoreMetrics::new(true)).unwrap();
+        try_morph(&p, &mut t, &mut inner, &g, 0.2, big, None, &CoreMetrics::new(true)).unwrap();
         let img = PmemPool::from_crash_image(p.crash());
         let h = SlabHeader::read(&img, 0).unwrap();
         assert_eq!(h.flag, flag::NONE);
@@ -557,7 +600,7 @@ mod tests {
         let big = size_to_class(1500).unwrap();
         let (mut inner, _) = arena_with_slab(&p, &mut t, &g, small, &[]);
         let m = CoreMetrics::new(true);
-        try_morph(&p, &mut t, &mut inner, &g, 0.2, big, &m).expect("morphs");
+        try_morph(&p, &mut t, &mut inner, &g, 0.2, big, None, &m).expect("morphs");
         let s = m.snapshot();
         assert!(s.morph_candidates >= 1);
         assert_eq!(s.morph_started, 1);
@@ -571,9 +614,8 @@ mod tests {
         let g = GeometryTable::new(6);
         let small = size_to_class(100).unwrap();
         let (mut inner, _) = arena_with_slab(&p, &mut t, &g, small, &[]);
-        assert!(
-            try_morph(&p, &mut t, &mut inner, &g, 0.2, small, &CoreMetrics::new(true)).is_none()
-        );
+        assert!(try_morph(&p, &mut t, &mut inner, &g, 0.2, small, None, &CoreMetrics::new(true))
+            .is_none());
     }
 
     #[test]
@@ -585,7 +627,7 @@ mod tests {
         let small = size_to_class(100).unwrap();
         let nb = g.of(big).nblocks;
         let (mut inner, addrs) = arena_with_slab(&p, &mut t, &g, big, &[nb - 1]);
-        try_morph(&p, &mut t, &mut inner, &g, 0.3, small, &CoreMetrics::new(true))
+        try_morph(&p, &mut t, &mut inner, &g, 0.3, small, None, &CoreMetrics::new(true))
             .expect("downward morph works");
         let vs = &inner.slabs[&0];
         assert_eq!(vs.class, small);

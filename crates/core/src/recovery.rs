@@ -180,6 +180,7 @@ pub(crate) fn recover(
     metrics.add(Counter::MorphUndone, report.morphs_resolved as u64);
     metrics.record_hist(OpKind::Recovery, t.virtual_ns());
 
+    let slab_gates = crate::remote::SlabGates::new(pool.size());
     let alloc = NvAllocator(Arc::new(NvInner {
         pool,
         cfg,
@@ -191,6 +192,7 @@ pub(crate) fn recover(
         live_bytes: AtomicUsize::new(live_bytes),
         wal_seq: AtomicU64::new(max_seq + 1),
         metrics,
+        slab_gates,
     }));
     Ok((alloc, report))
 }

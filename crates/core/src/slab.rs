@@ -106,6 +106,10 @@ pub struct VSlab {
     pub morph: Option<MorphState>,
     /// LRU token (maintained by the arena).
     pub lru_token: u64,
+    /// Whether the slab currently has a live entry in its class freelist.
+    /// Maintained by the arena: cleared for O(1) logical removal, with the
+    /// stale deque entry discarded lazily on pop.
+    pub in_freelist: bool,
 }
 
 impl VSlab {
@@ -142,6 +146,7 @@ impl VSlab {
             nfree: geom.nblocks,
             morph: None,
             lru_token: 0,
+            in_freelist: false,
         }
     }
 
@@ -165,6 +170,7 @@ impl VSlab {
             nfree: nblocks,
             morph: None,
             lru_token: 0,
+            in_freelist: false,
         }
     }
 

@@ -247,9 +247,24 @@ pub enum Counter {
     WalAppends,
     /// WAL entries replayed during recovery.
     WalReplays,
+    /// Arena/large mutex acquisitions on the free path (slow frees only;
+    /// the lock-free fast path never counts here).
+    FreeLocks,
+    /// Same-thread frees completed on the lock-free fast path.
+    FreeFastLocal,
+    /// Cross-arena frees pushed onto a remote-free queue.
+    FreeRemote,
+    /// Remote-free queue drain batches (non-empty drains).
+    RemoteDrainBatches,
+    /// Blocks returned to slabs by remote-queue drains.
+    RemoteDrained,
+    /// Slab carves served from a per-arena reservoir.
+    ReservoirHits,
+    /// Slab carves that had to take the large-allocator lock.
+    ReservoirMisses,
 }
 
-const NUM_COUNTERS: usize = 9;
+const NUM_COUNTERS: usize = 16;
 const TCACHE_EVENTS: usize = 4;
 
 /// The allocator's internal metrics registry.
@@ -352,6 +367,13 @@ impl CoreMetrics {
         s.morph_undone = c(Counter::MorphUndone);
         s.wal_appends = c(Counter::WalAppends);
         s.wal_replays = c(Counter::WalReplays);
+        s.free_locks = c(Counter::FreeLocks);
+        s.free_fast_local = c(Counter::FreeFastLocal);
+        s.free_remote = c(Counter::FreeRemote);
+        s.remote_drain_batches = c(Counter::RemoteDrainBatches);
+        s.remote_drained = c(Counter::RemoteDrained);
+        s.reservoir_hits = c(Counter::ReservoirHits);
+        s.reservoir_misses = c(Counter::ReservoirMisses);
         s.hists = *self.hists.lock();
         s
     }
@@ -423,6 +445,20 @@ pub struct MetricsSnapshot {
     pub wal_appends: u64,
     /// WAL entries replayed during recovery.
     pub wal_replays: u64,
+    /// Mutex acquisitions on the free path (slow frees only).
+    pub free_locks: u64,
+    /// Same-thread frees completed on the lock-free fast path.
+    pub free_fast_local: u64,
+    /// Cross-arena frees pushed onto a remote-free queue.
+    pub free_remote: u64,
+    /// Remote-free queue drain batches (non-empty drains).
+    pub remote_drain_batches: u64,
+    /// Blocks returned to slabs by remote-queue drains.
+    pub remote_drained: u64,
+    /// Slab carves served from a per-arena reservoir.
+    pub reservoir_hits: u64,
+    /// Slab carves that had to take the large-allocator lock.
+    pub reservoir_misses: u64,
     /// Bookkeeping-log entries appended (includes slow-GC copies).
     pub booklog_appends: u64,
     /// Bookkeeping-log tombstones appended.
@@ -479,6 +515,15 @@ impl MetricsSnapshot {
             morph_undone: self.morph_undone.saturating_sub(earlier.morph_undone),
             wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
             wal_replays: self.wal_replays.saturating_sub(earlier.wal_replays),
+            free_locks: self.free_locks.saturating_sub(earlier.free_locks),
+            free_fast_local: self.free_fast_local.saturating_sub(earlier.free_fast_local),
+            free_remote: self.free_remote.saturating_sub(earlier.free_remote),
+            remote_drain_batches: self
+                .remote_drain_batches
+                .saturating_sub(earlier.remote_drain_batches),
+            remote_drained: self.remote_drained.saturating_sub(earlier.remote_drained),
+            reservoir_hits: self.reservoir_hits.saturating_sub(earlier.reservoir_hits),
+            reservoir_misses: self.reservoir_misses.saturating_sub(earlier.reservoir_misses),
             booklog_appends: self.booklog_appends.saturating_sub(earlier.booklog_appends),
             booklog_tombstones: self.booklog_tombstones.saturating_sub(earlier.booklog_tombstones),
             booklog_fast_gc_runs: self
@@ -535,6 +580,13 @@ impl MetricsSnapshot {
         o.field_u64("morph_undone", self.morph_undone);
         o.field_u64("wal_appends", self.wal_appends);
         o.field_u64("wal_replays", self.wal_replays);
+        o.field_u64("free_locks", self.free_locks);
+        o.field_u64("free_fast_local", self.free_fast_local);
+        o.field_u64("free_remote", self.free_remote);
+        o.field_u64("remote_drain_batches", self.remote_drain_batches);
+        o.field_u64("remote_drained", self.remote_drained);
+        o.field_u64("reservoir_hits", self.reservoir_hits);
+        o.field_u64("reservoir_misses", self.reservoir_misses);
         o.field_u64("booklog_appends", self.booklog_appends);
         o.field_u64("booklog_tombstones", self.booklog_tombstones);
         o.field_u64("booklog_fast_gc_runs", self.booklog_fast_gc_runs);

@@ -69,6 +69,14 @@ pub enum LatencyMode {
     /// Busy-wait for the modelled duration so latencies appear in wall-clock
     /// measurements as well as on the virtual clock.
     Spin,
+    /// `std::thread::sleep` the modelled duration off (batched into small
+    /// quanta to amortise timer overhead). Unlike [`LatencyMode::Spin`],
+    /// sleeping yields the CPU, so concurrent threads' PM stalls overlap
+    /// in wall-clock time the way they do on real parallel hardware —
+    /// even on a single-core host. Latency charged while a lock is held
+    /// still serialises waiters. Used by the wall-clock scalability
+    /// benchmark (Fig. 22).
+    Sleep,
     /// Count events but charge no latency. Fastest; used by unit tests that
     /// only care about functional behaviour.
     Off,

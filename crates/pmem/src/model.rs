@@ -298,9 +298,22 @@ impl LatencyModel {
                 spin_for(ns);
                 ns
             }
+            LatencyMode::Sleep => {
+                thread.accrue_ns(ns);
+                if let Some(due) = thread.add_sleep_debt(ns, SLEEP_QUANTUM_NS) {
+                    std::thread::sleep(std::time::Duration::from_nanos(due));
+                }
+                ns
+            }
         }
     }
 }
+
+/// Sleep-mode debt quantum: modelled nanoseconds are slept off in batches
+/// of at least this much, amortising per-sleep timer overhead (Linux timer
+/// slack alone is ~50 µs) while keeping sleeps frequent enough that they
+/// land near the operations that charged them.
+const SLEEP_QUANTUM_NS: u64 = 2_000;
 
 fn spin_for(ns: u64) {
     if ns == 0 {

@@ -12,11 +12,14 @@ pub struct PmThread {
     id: usize,
     virtual_ns: u64,
     last_flush_addr: Option<u64>,
+    /// Modelled nanoseconds not yet slept off in `LatencyMode::Sleep`
+    /// (sleeps are batched into quanta; see `LatencyModel::charge`).
+    sleep_debt: u64,
 }
 
 impl PmThread {
     pub(crate) fn new(id: usize) -> Self {
-        PmThread { id, virtual_ns: 0, last_flush_addr: None }
+        PmThread { id, virtual_ns: 0, last_flush_addr: None, sleep_debt: 0 }
     }
 
     /// Identifier assigned at registration (dense, starting at 0).
@@ -43,6 +46,20 @@ impl PmThread {
     #[inline]
     pub(crate) fn accrue_ns(&mut self, ns: u64) {
         self.virtual_ns += ns;
+    }
+
+    /// Add `ns` to the sleep debt; when the accumulated debt reaches
+    /// `quantum`, return it (reset to 0) for the caller to sleep off.
+    #[inline]
+    pub(crate) fn add_sleep_debt(&mut self, ns: u64, quantum: u64) -> Option<u64> {
+        self.sleep_debt += ns;
+        if self.sleep_debt >= quantum {
+            let due = self.sleep_debt;
+            self.sleep_debt = 0;
+            Some(due)
+        } else {
+            None
+        }
     }
 
     #[inline]

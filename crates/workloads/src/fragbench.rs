@@ -187,6 +187,7 @@ pub fn run(alloc: &Arc<dyn PmAllocator>, w: Workload, p: Params) -> FragResult {
             threads: 1,
             ops,
             elapsed_ns,
+            wall_ns: 0,
             stats: alloc.pool().stats().snapshot(),
             peak_mapped: alloc.peak_mapped_bytes(),
             mapped: alloc.heap_mapped_bytes(),

@@ -40,6 +40,11 @@ pub struct BenchMeasurement {
     pub ops: u64,
     /// Max over threads of (wall ns + accrued virtual PM ns).
     pub elapsed_ns: u64,
+    /// Host wall-clock nanoseconds for the whole measured region. Unlike
+    /// `elapsed_ns` this is *not* host-independent — it is what the
+    /// scalability experiments use to observe real lock contention, which
+    /// the per-thread virtual model cannot see.
+    pub wall_ns: u64,
     /// PM event counters for the measured phase.
     pub stats: StatsSnapshot,
     /// Peak mapped heap bytes at the end of the run.
@@ -65,6 +70,15 @@ impl BenchMeasurement {
         self.elapsed_ns as f64 / 1e6
     }
 
+    /// Million operations per wall-clock second (0 when no wall time was
+    /// recorded).
+    pub fn wall_mops(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.ops as f64 / self.wall_ns as f64 * 1e3
+    }
+
     /// Serialise the measurement as one self-contained JSON object
     /// (single line, no trailing newline) for `--json` bench output.
     ///
@@ -78,6 +92,8 @@ impl BenchMeasurement {
         o.field_u64("ops", self.ops);
         o.field_u64("elapsed_ns", self.elapsed_ns);
         o.field_f64("mops", self.mops());
+        o.field_u64("wall_ns", self.wall_ns);
+        o.field_f64("wall_mops", self.wall_mops());
         let mut st = json::JsonObj::new();
         st.field_u64("flushes", self.stats.flushes);
         st.field_u64("reflushes", self.stats.reflushes);
@@ -120,6 +136,7 @@ pub fn run_threads(
 ) -> BenchMeasurement {
     alloc.pool().stats().reset();
     let m0 = alloc.metrics();
+    let wall_start = std::time::Instant::now();
     let per_thread: Vec<(u64, u64)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|k| {
@@ -135,6 +152,7 @@ pub fn run_threads(
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
     let ops = per_thread.iter().map(|(o, _)| o).sum();
     let elapsed_ns = per_thread.iter().map(|(o, v)| v + o * CPU_NS_PER_OP).max().unwrap_or(0);
     BenchMeasurement {
@@ -142,6 +160,7 @@ pub fn run_threads(
         threads,
         ops,
         elapsed_ns,
+        wall_ns,
         stats: alloc.pool().stats().snapshot(),
         peak_mapped: alloc.peak_mapped_bytes(),
         mapped: alloc.heap_mapped_bytes(),

@@ -3,7 +3,9 @@
 //! One module per benchmark of the paper's evaluation (§6.2/§6.4):
 //! [`threadtest`], [`prodcon`], [`shbench`], [`larson`], [`dbmstest`],
 //! [`fragbench`], plus the [`linkedlist`] workload used for the recovery
-//! measurement (Fig. 18). All generators are deterministic (seeded
+//! measurement (Fig. 18) and the [`remote_mix`] workload used for the
+//! free-path scalability measurement (Fig. 22). All generators are
+//! deterministic (seeded
 //! [`rand::rngs::SmallRng`]) and generic over any
 //! [`nvalloc::api::PmAllocator`].
 //!
@@ -20,6 +22,7 @@ pub mod harness;
 pub mod larson;
 pub mod linkedlist;
 pub mod prodcon;
+pub mod remote_mix;
 pub mod shbench;
 pub mod threadtest;
 

@@ -37,6 +37,24 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("sending on a disconnected channel")
@@ -46,6 +64,26 @@ pub mod channel {
     impl fmt::Display for RecvError {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty, disconnected channel")
+                }
+            }
         }
     }
 
@@ -106,6 +144,22 @@ pub mod channel {
             self.0.not_empty.notify_one();
             Ok(())
         }
+
+        /// Send `value` without blocking.
+        ///
+        /// # Errors
+        /// [`TrySendError::Full`] when the channel is at capacity (this
+        /// shim never observes receiver disconnection; see
+        /// [`Sender::send`]).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut q = self.0.queue.lock().expect("channel lock");
+            if q.items.len() >= self.0.cap {
+                return Err(TrySendError::Full(value));
+            }
+            q.items.push_back(value);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
     }
 
     impl<T> Receiver<T> {
@@ -125,6 +179,25 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 q = self.0.not_empty.wait(q).expect("channel lock");
+            }
+        }
+
+        /// Receive one value without blocking.
+        ///
+        /// # Errors
+        /// [`TryRecvError::Empty`] when nothing is queued;
+        /// [`TryRecvError::Disconnected`] once additionally every sender
+        /// is gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.0.queue.lock().expect("channel lock");
+            if let Some(v) = q.items.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if q.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
             }
         }
     }
@@ -167,6 +240,17 @@ pub mod channel {
                 assert_eq!(rx.recv(), Ok(i));
             }
             h.join().unwrap();
+        }
+
+        #[test]
+        fn try_ops_never_block() {
+            let (tx, rx) = bounded::<u32>(1);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            assert_eq!(tx.try_send(1), Ok(()));
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.try_recv(), Ok(1));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
         }
 
         #[test]
