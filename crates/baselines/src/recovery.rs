@@ -73,6 +73,7 @@ impl Baseline {
                 decay_ms: 10_000,
                 region_table_base: layout.region_table,
                 region_table_bytes: layout.region_table_bytes,
+                shard_tag: 0, // baselines run a single unsharded large allocator
             },
             Arc::clone(&rtree),
         );

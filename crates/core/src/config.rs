@@ -80,6 +80,15 @@ pub struct NvConfig {
     /// state; after a crash, recovery reclaims them as leaked slab
     /// extents.
     pub slab_reservoir: usize,
+    /// Number of independent large-allocation shards (power of two).
+    /// Each shard owns a contiguous sub-heap, its own region list,
+    /// extent freelists, and bookkeeping-log head, so large allocs,
+    /// slab carves, and slab retires from different shards never
+    /// contend. `0` (the default) sizes the shard count automatically
+    /// from the arena count; `1` restores the single global large
+    /// allocator. The effective count is clamped so every shard keeps a
+    /// workable booklog slice and heap span.
+    pub large_shards: usize,
     /// WAL capacity per arena, in entries.
     pub wal_entries: usize,
     /// Number of 8-byte root slots to reserve.
@@ -113,7 +122,8 @@ impl NvConfig {
             usage_pmem: 0.002,
             arenas: 4,
             tcache_cap: 64,
-            slab_reservoir: 0,
+            slab_reservoir: 8,
+            large_shards: 0,
             wal_entries: 4096,
             roots: 1 << 16,
             booklog_bytes: 4 << 20,
@@ -224,6 +234,13 @@ impl NvConfig {
         self
     }
 
+    /// Set the large-allocation shard count (rounded up to a power of
+    /// two; 0 = auto-size from the arena count, 1 = single shard).
+    pub fn large_shards(mut self, n: usize) -> Self {
+        self.large_shards = n;
+        self
+    }
+
     /// Effective stripe count for a component, honouring per-component
     /// interleave toggles (1 stripe = sequential).
     pub(crate) fn stripes_for(&self, enabled: bool) -> usize {
@@ -274,6 +291,17 @@ mod tests {
         let c = NvConfig::log().stripes(6);
         assert_eq!(c.stripes_for(true), 6);
         assert_eq!(c.stripes_for(false), 1);
+    }
+
+    #[test]
+    fn reservoir_defaults_on_and_shards_default_auto() {
+        // PR 3 flips the slab reservoir on by default and adds sharding
+        // (0 = auto-size from the arena count).
+        let c = NvConfig::log();
+        assert!(c.slab_reservoir > 0, "slab reservoir must default on");
+        assert_eq!(c.large_shards, 0, "shards default to auto");
+        assert_eq!(NvConfig::log().large_shards(3).large_shards, 3);
+        assert_eq!(NvConfig::log().slab_reservoir(0).slab_reservoir, 0);
     }
 
     #[test]

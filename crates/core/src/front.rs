@@ -11,13 +11,13 @@
 //!
 //! # Lock order
 //!
-//! `Arena::inner` → `LargeAlloc` mutex. WAL appends are per-thread
-//! micro-logs (lock-free); persistent bitmap bits are atomic word updates.
+//! `Arena::inner` → large shard mutex ([`crate::shards::ShardedLarge`];
+//! at most one shard lock is held at a time). WAL appends are per-thread
+//! micro-logs (lock-free); persistent bitmap bits are atomic word
+//! updates; rtree reads and writes are lock-free.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-
-use parking_lot::Mutex;
 
 use nvalloc_pmem::{FlushKind, PmError, PmOffset, PmResult, PmThread, PmemMode, PmemPool};
 
@@ -26,10 +26,11 @@ use crate::arena::{arena_state, Arena};
 use crate::bitmap::PmBitmap;
 use crate::config::{NvConfig, Variant};
 use crate::geometry::GeometryTable;
-use crate::large::{LargeAlloc, LargeConfig, VehId, REGION_BYTES};
+use crate::large::{LargeConfig, VehId, REGION_BYTES};
 use crate::morph;
 use crate::remote::{RemoteFree, SlabGates};
 use crate::rtree::{Owner, RTree};
+use crate::shards::ShardedLarge;
 use crate::size_class::{class_size, size_to_class, ClassId, SLAB_SIZE};
 use crate::slab::{flag, SlabHeader, VSlab};
 use crate::tcache::TCache;
@@ -53,6 +54,11 @@ pub(crate) struct Layout {
     pub booklog_bytes: usize,
     pub heap_base: PmOffset,
     pub heap_bytes: usize,
+    /// Effective large-allocation shard count (power of two; clamped so
+    /// every shard keeps a workable booklog slice and heap span). Both
+    /// `create` and `recover` derive it here, so the per-shard region
+    /// slicing is deterministic across crashes.
+    pub large_shards: usize,
 }
 
 impl Layout {
@@ -64,28 +70,49 @@ impl Layout {
         let wal_base = crate::align_up64(roots_end, 64);
         let wal_micro_count = (cfg.wal_entries / MICRO_ENTRIES).max(16);
         let wal_bytes = cfg.arenas * WalRegion::region_bytes(wal_micro_count);
-        let region_table = crate::align_up64(wal_base + wal_bytes as u64, 64);
-        let max_regions = pool_size / REGION_BYTES + 2;
-        let region_table_bytes = 8 + 8 * max_regions;
-        let booklog = crate::align_up64(region_table + region_table_bytes as u64, 64);
+        let wal_end = wal_base + wal_bytes as u64;
         let booklog_bytes = cfg.booklog_bytes.min(pool_size / 4).max(64 << 10);
-        let heap_base = crate::align_up64(booklog + booklog_bytes as u64, SLAB_SIZE as u64);
-        if heap_base as usize + REGION_BYTES > pool_size {
-            return Err(PmError::OutOfMemory { requested: REGION_BYTES });
+        // Shard count: requested (0 = one per arena), rounded up to a
+        // power of two, then halved until every shard keeps a workable
+        // booklog slice and a two-region heap span — small pools degrade
+        // gracefully to a single shard.
+        let want = if cfg.large_shards == 0 { cfg.arenas } else { cfg.large_shards };
+        let mut shards = want.max(1).next_power_of_two().min(crate::shards::MAX_SHARDS);
+        loop {
+            // Each shard gets its own region-table slice sized with
+            // headroom for its whole sub-heap, so no shard can run out
+            // of region slots while its neighbours sit empty.
+            let region_table_bytes = shards * (8 + 8 * (pool_size / REGION_BYTES / shards + 2));
+            let region_table = crate::align_up64(wal_end, 64);
+            let booklog = crate::align_up64(region_table + region_table_bytes as u64, 64);
+            let heap_base = crate::align_up64(booklog + booklog_bytes as u64, SLAB_SIZE as u64);
+            let fits = heap_base as usize + REGION_BYTES <= pool_size;
+            if shards > 1
+                && (!fits
+                    || booklog_bytes / shards < crate::shards::MIN_SHARD_BOOKLOG
+                    || (pool_size - heap_base as usize) / shards < crate::shards::MIN_SHARD_HEAP)
+            {
+                shards /= 2;
+                continue;
+            }
+            if !fits {
+                return Err(PmError::OutOfMemory { requested: REGION_BYTES });
+            }
+            return Ok(Layout {
+                arena_flags,
+                roots,
+                roots_count: cfg.roots,
+                wal_base,
+                wal_micro_count,
+                region_table,
+                region_table_bytes,
+                booklog,
+                booklog_bytes,
+                heap_base,
+                heap_bytes: pool_size - heap_base as usize,
+                large_shards: shards,
+            });
         }
-        Ok(Layout {
-            arena_flags,
-            roots,
-            roots_count: cfg.roots,
-            wal_base,
-            wal_micro_count,
-            region_table,
-            region_table_bytes,
-            booklog,
-            booklog_bytes,
-            heap_base,
-            heap_bytes: pool_size - heap_base as usize,
-        })
     }
 
     pub(crate) fn large_config_pub(&self, cfg: &NvConfig) -> LargeConfig {
@@ -105,6 +132,7 @@ impl Layout {
             decay_ms: 10_000,
             region_table_base: self.region_table,
             region_table_bytes: self.region_table_bytes,
+            shard_tag: 0, // per-shard tags are applied by ShardedLarge
         }
     }
 }
@@ -144,7 +172,7 @@ pub(crate) struct NvInner {
     pub geoms: GeometryTable,
     pub layout: Layout,
     pub arenas: Vec<Arc<Arena>>,
-    pub large: Mutex<LargeAlloc>,
+    pub large: ShardedLarge,
     pub rtree: Arc<RTree>,
     pub live_bytes: AtomicUsize,
     pub wal_seq: AtomicU64,
@@ -216,8 +244,9 @@ impl NvInner {
             Ok(())
         } else {
             // large.free re-registers nothing; it removes the range
-            // (which the slab owner entry overwrote) from the rtree.
-            self.large.lock().free(&self.pool, t, vs.veh)
+            // (which the slab owner entry overwrote) from the rtree. The
+            // shard is selected by the frame's veh tag.
+            self.large.free(&self.pool, t, vs.veh)
         };
         self.slab_gates.unlock(slab_off);
         res
@@ -255,7 +284,7 @@ impl NvAllocator {
         let rtree = Arc::new(RTree::new());
         let mut large_cfg = layout.large_config(&cfg);
         large_cfg.slow_gc_threshold = ((pool.size() as f64 * cfg.usage_pmem) as usize).max(4096);
-        let large = LargeAlloc::new(&pool, large_cfg, Arc::clone(&rtree));
+        let large = ShardedLarge::new(&pool, large_cfg, layout.large_shards, &rtree);
 
         let arenas: Vec<Arc<Arena>> = (0..cfg.arenas)
             .map(|i| {
@@ -287,7 +316,7 @@ impl NvAllocator {
             geoms,
             layout,
             arenas,
-            large: Mutex::new(large),
+            large,
             rtree,
             live_bytes: AtomicUsize::new(0),
             wal_seq: AtomicU64::new(1),
@@ -339,9 +368,15 @@ impl NvAllocator {
         SlabUtilization { bins: bins.to_vec(), counts }
     }
 
-    /// Booklog GC statistics (None when the booklog is disabled).
+    /// Booklog GC statistics, summed across shards (None when the
+    /// booklog is disabled).
     pub fn booklog_stats(&self) -> Option<crate::booklog::BookLogStats> {
-        self.0.large.lock().booklog_stats()
+        self.0.large.booklog_stats()
+    }
+
+    /// Effective large-shard count (after layout clamping).
+    pub fn large_shards(&self) -> usize {
+        self.0.large.shard_count()
     }
 
     /// Enumerate every live allocation as `(offset, size)` — the
@@ -371,21 +406,20 @@ impl NvAllocator {
                 }
             }
         }
-        let large = self.0.large.lock();
-        for (_, off, is_slab) in large.active_extents() {
+        for (id, off, is_slab) in self.0.large.active_extents() {
             if !is_slab {
-                if let Some(v) = large.veh_by_off(off) {
-                    out.push((off, v));
+                if let Some(v) = self.0.large.veh(id) {
+                    out.push((off, v.size));
                 }
             }
         }
         out
     }
 
-    /// Force a decay pass on the large allocator's free lists.
+    /// Force a decay pass on every large shard's free lists.
     pub fn drain_free_lists(&self) {
         let mut t = self.0.pool.register_thread();
-        let _ = self.0.large.lock().drain_free_lists(&self.0.pool, &mut t);
+        let _ = self.0.large.drain_free_lists(&self.0.pool, &mut t);
     }
 }
 
@@ -431,12 +465,11 @@ impl PmAllocator for NvAllocator {
     }
 
     fn heap_mapped_bytes(&self) -> usize {
-        let large = self.0.large.lock();
-        large.mapped_bytes() + large.booklog_stats().map_or(0, |_| 0)
+        self.0.large.mapped_bytes()
     }
 
     fn peak_mapped_bytes(&self) -> usize {
-        self.0.large.lock().peak_mapped()
+        self.0.large.peak_mapped()
     }
 
     fn live_bytes(&self) -> usize {
@@ -446,10 +479,9 @@ impl PmAllocator for NvAllocator {
     fn metrics(&self) -> MetricsSnapshot {
         let mut s = self.0.metrics.snapshot();
         if self.0.metrics.enabled() {
-            // Booklog and extent counters live under the large-allocator
-            // lock; merge them into the snapshot here.
-            let large = self.0.large.lock();
-            if let Some(b) = large.booklog_stats() {
+            // Booklog and extent counters live under the shard locks;
+            // merge the per-shard sums into the snapshot here.
+            if let Some(b) = self.0.large.booklog_stats() {
                 s.booklog_appends = b.appends;
                 s.booklog_tombstones = b.tombstones;
                 s.booklog_fast_gc_runs = b.fast_gc_runs;
@@ -458,12 +490,17 @@ impl PmAllocator for NvAllocator {
                 s.booklog_slow_gc_copied = b.slow_gc_copied;
                 s.booklog_alt_flips = b.alt_flips;
             }
-            let ls = large.stats();
+            let ls = self.0.large.stats();
             s.extent_best_fit = ls.best_fit_hits;
             s.extent_splits = ls.splits;
             s.extent_coalesces = ls.coalesces;
             s.decay_epochs = ls.decay_epochs;
             s.hists.hists[OpKind::SlowGc.index()].merge(&ls.slow_gc_hist);
+            let (acq, cont) = self.0.large.lock_counts();
+            s.large_lock_acquires = acq.iter().sum();
+            s.large_lock_contended = cont.iter().sum();
+            s.large_shard_acquires = acq;
+            s.large_shard_contended = cont;
         }
         s
     }
@@ -600,6 +637,10 @@ impl NvThread {
     /// slab morphing → a slab frame from the reservoir or the large
     /// allocator (§4.2).
     fn refill(&mut self, class: ClassId) -> PmResult<()> {
+        // A refill is already a slow path: opportunistically help other
+        // arenas clear their remote-free queues before taking our own
+        // lock (the ROADMAP drain hook). try_lock only — never blocks.
+        self.drain_idle_arenas();
         let inner = Arc::clone(&self.inner);
         let pool = &inner.pool;
         inner.metrics.tcache_event(class, TcacheEvent::Refill);
@@ -647,10 +688,12 @@ impl NvThread {
     }
 
     /// Pop a pre-carved slab frame from the arena's reservoir, refilling
-    /// the reservoir with one batched carve on a miss so the global large
-    /// mutex is touched once per `cfg.slab_reservoir` frames. Reserved
-    /// frames have scrubbed headers and no rtree range: they are invisible
-    /// to frees, and a crash image reclaims them as leaked slab extents.
+    /// the reservoir with one batched carve on a miss so a shard mutex
+    /// is touched once per `cfg.slab_reservoir` frames. Reserved frames
+    /// have scrubbed headers and no rtree range: they are invisible to
+    /// frees, and a crash image reclaims them as leaked slab extents.
+    /// Carving probes the arena's hint shard first and falls back
+    /// round-robin; the whole batch stays in one shard.
     fn acquire_slab_frame(
         &mut self,
         inner: &NvInner,
@@ -658,36 +701,39 @@ impl NvThread {
     ) -> PmResult<(VehId, PmOffset)> {
         let pool = &inner.pool;
         let batch = inner.cfg.slab_reservoir;
-        if batch == 0 {
-            inner.metrics.bump(Counter::SlabAllocs);
-            return inner.large.lock().alloc_aligned(
-                pool,
-                &mut self.pm,
-                SLAB_SIZE,
-                SLAB_SIZE,
-                true,
-            );
+        if batch > 0 {
+            if let Some(frame) = ai.reservoir.pop() {
+                inner.metrics.bump(Counter::ReservoirHits);
+                return Ok(frame);
+            }
+            inner.metrics.bump(Counter::ReservoirMisses);
         }
-        if let Some(frame) = ai.reservoir.pop() {
-            inner.metrics.bump(Counter::ReservoirHits);
-            return Ok(frame);
-        }
-        inner.metrics.bump(Counter::ReservoirMisses);
-        let mut large = inner.large.lock();
-        let first = large.alloc_aligned(pool, &mut self.pm, SLAB_SIZE, SLAB_SIZE, true)?;
-        inner.metrics.bump(Counter::SlabAllocs);
-        for _ in 1..batch {
-            let Ok((veh, off)) =
-                large.alloc_aligned(pool, &mut self.pm, SLAB_SIZE, SLAB_SIZE, true)
-            else {
-                break; // partial batch: serve what we got
+        let mut oom = PmError::OutOfMemory { requested: SLAB_SIZE };
+        for s in inner.large.shard_order(self.arena.id as usize) {
+            let mut large = inner.large.lock(s);
+            let first = match large.alloc_aligned(pool, &mut self.pm, SLAB_SIZE, SLAB_SIZE, true) {
+                Ok(f) => f,
+                Err(e @ PmError::OutOfMemory { .. }) => {
+                    oom = e;
+                    continue;
+                }
+                Err(e) => return Err(e),
             };
             inner.metrics.bump(Counter::SlabAllocs);
-            pool.persist_u64(&mut self.pm, off, 0, FlushKind::Meta);
-            inner.rtree.remove_range(off, SLAB_SIZE);
-            ai.reservoir.push((veh, off));
+            for _ in 1..batch {
+                let Ok((veh, off)) =
+                    large.alloc_aligned(pool, &mut self.pm, SLAB_SIZE, SLAB_SIZE, true)
+                else {
+                    break; // partial batch: serve what we got
+                };
+                inner.metrics.bump(Counter::SlabAllocs);
+                pool.persist_u64(&mut self.pm, off, 0, FlushKind::Meta);
+                inner.rtree.remove_range(off, SLAB_SIZE);
+                ai.reservoir.push((veh, off));
+            }
+            return Ok(first);
         }
-        Ok(first)
+        Err(oom)
     }
 
     fn free_small(
@@ -882,24 +928,58 @@ impl NvThread {
 
     // ----- large path -----
 
+    /// Opportunistically drain other arenas' remote-free queues from a
+    /// malloc slow path. `try_lock` only — an arena whose owner is busy
+    /// is skipped, so this never blocks and never inverts the lock
+    /// order (the caller holds no locks).
+    fn drain_idle_arenas(&mut self) {
+        let inner = Arc::clone(&self.inner);
+        for a in &inner.arenas {
+            if a.id == self.arena.id || a.remote.is_empty() {
+                continue;
+            }
+            let Some(mut ai) = a.inner.try_lock() else { continue };
+            if inner.drain_remote(&mut self.pm, a, &mut ai) > 0 {
+                inner.metrics.bump(Counter::RemoteDrainForeign);
+            }
+        }
+    }
+
     fn malloc_large(&mut self, size: usize, dest: PmOffset) -> PmResult<PmOffset> {
+        // A large malloc is a slow path: run the remote-free drain hook
+        // before taking any shard lock.
+        self.drain_idle_arenas();
         let inner = Arc::clone(&self.inner);
         let pool = &inner.pool;
         // Reserve (volatile), then WAL, then persist the extent record,
         // then commit via the dest install — each crash window is covered
         // (§4.3/§4.4). Large allocations use the WAL in both variants
-        // (Table 2).
-        let mut large = inner.large.lock();
-        let (veh, off) = large.alloc_deferred(pool, &mut self.pm, size)?;
-        if self.use_large_wal() {
-            self.wal_append(WalOp::Alloc, off, dest, size as u32);
+        // (Table 2). Shards are probed hint-first with round-robin
+        // fallback on exhaustion; the whole reserve → WAL → commit
+        // sequence stays under one shard guard, so a crash can never
+        // interleave half-committed records from two shards.
+        let mut oom = PmError::OutOfMemory { requested: size };
+        for s in inner.large.shard_order(self.arena.id as usize) {
+            let mut large = inner.large.lock(s);
+            let (veh, off) = match large.alloc_deferred(pool, &mut self.pm, size) {
+                Ok(r) => r,
+                Err(e @ PmError::OutOfMemory { .. }) => {
+                    oom = e;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            if self.use_large_wal() {
+                self.wal_append(WalOp::Alloc, off, dest, size as u32);
+            }
+            large.commit_extent(pool, &mut self.pm, veh)?;
+            let actual = large.veh(veh).map(|v| v.size).unwrap_or(size);
+            drop(large);
+            self.write_dest(dest, off, true);
+            inner.live_bytes.fetch_add(actual, Ordering::Relaxed);
+            return Ok(off);
         }
-        large.commit_extent(pool, &mut self.pm, veh)?;
-        let actual = large.veh(veh).map(|v| v.size).unwrap_or(size);
-        drop(large);
-        self.write_dest(dest, off, true);
-        inner.live_bytes.fetch_add(actual, Ordering::Relaxed);
-        Ok(off)
+        Err(oom)
     }
 
     fn free_large(
@@ -910,12 +990,12 @@ impl NvThread {
     ) -> PmResult<()> {
         let inner = Arc::clone(&self.inner);
         let pool = &inner.pool;
-        // One critical section: validate, log, zero the destination, and
-        // free, all under a single lock acquisition (the old
-        // validate/relock dance also left a window where a racing free
-        // could recycle the VEH between the two sections).
+        // One critical section on the owning shard (routed by the id's
+        // shard tag): validate, log, zero the destination, and free, all
+        // under a single lock acquisition, so a racing free cannot
+        // recycle the VEH between validation and release.
         inner.metrics.bump(Counter::FreeLocks);
-        let mut large = inner.large.lock();
+        let mut large = inner.large.lock_veh(veh).ok_or(PmError::NotAllocated)?;
         let v = large.veh(veh).ok_or(PmError::NotAllocated)?;
         if v.off != addr {
             return Err(PmError::NotAllocated);
@@ -1113,5 +1193,22 @@ mod tests {
         assert!(l.region_table < l.booklog);
         assert!(l.booklog + l.booklog_bytes as u64 <= l.heap_base);
         assert_eq!(l.heap_base % crate::size_class::SLAB_SIZE as u64, 0);
+        assert!(l.large_shards.is_power_of_two());
+    }
+
+    #[test]
+    fn layout_shard_count_clamps_to_pool() {
+        let cfg = NvConfig::log().arenas(8);
+        let l = Layout::compute(&cfg, 256 << 20).unwrap();
+        assert_eq!(l.large_shards, 8, "a large pool keeps one shard per arena");
+        // A small pool cannot give 8 shards a two-region span each.
+        let l = Layout::compute(&cfg, 32 << 20).unwrap();
+        assert!(l.large_shards < 8 && l.large_shards.is_power_of_two());
+        // An explicit request wins over the arena count (before clamping).
+        let cfg = NvConfig::log().arenas(2).large_shards(4);
+        assert_eq!(Layout::compute(&cfg, 256 << 20).unwrap().large_shards, 4);
+        // large_shards = 1 restores the single global allocator.
+        let cfg = NvConfig::log().arenas(8).large_shards(1);
+        assert_eq!(Layout::compute(&cfg, 256 << 20).unwrap().large_shards, 1);
     }
 }

@@ -97,7 +97,18 @@ pub enum ExtentState {
 }
 
 /// Identifier of a virtual extent header.
+///
+/// Published ids carry the owning shard's index in the bits above
+/// [`VEH_LOCAL_BITS`] (see `crate::shards`); the low bits index the
+/// shard's local VEH table. A single-shard allocator uses tag 0, so ids
+/// are plain table indices there.
 pub type VehId = u32;
+
+/// Bits of a [`VehId`] that index a shard's local VEH table; bits above
+/// carry the shard index.
+pub const VEH_LOCAL_BITS: u32 = 24;
+/// Mask selecting the local-index bits of a [`VehId`].
+pub const VEH_LOCAL_MASK: u32 = (1 << VEH_LOCAL_BITS) - 1;
 
 /// A virtual extent header (kept in DRAM; §4.3).
 #[derive(Debug, Clone)]
@@ -197,6 +208,11 @@ pub struct LargeConfig {
     pub region_table_base: PmOffset,
     /// Region-table capacity in bytes (8 B count + 8 B per region).
     pub region_table_bytes: usize,
+    /// Pre-shifted shard tag OR-ed into every [`VehId`] this allocator
+    /// publishes (`shard_index << VEH_LOCAL_BITS`; 0 for a single
+    /// shard). Lets the sharded front end route a tagged id back to its
+    /// owning shard without consulting the address.
+    pub shard_tag: u32,
 }
 
 /// The large allocator. Callers serialise access (the front end wraps it in
@@ -263,9 +279,28 @@ impl LargeAlloc {
         }
     }
 
-    /// Look up a VEH.
+    /// Tag a local VEH index with this shard's tag for publication.
+    #[inline]
+    fn tag_id(&self, local: VehId) -> VehId {
+        debug_assert_eq!(local & !VEH_LOCAL_MASK, 0);
+        self.cfg.shard_tag | local
+    }
+
+    /// Strip the shard tag from a published id; `None` when the id
+    /// belongs to a different shard (mis-routed free or stale handle).
+    #[inline]
+    fn local_id(&self, id: VehId) -> Option<VehId> {
+        (id & !VEH_LOCAL_MASK == self.cfg.shard_tag).then_some(id & VEH_LOCAL_MASK)
+    }
+
+    #[inline]
+    fn veh_local(&self, local: VehId) -> Option<&Veh> {
+        self.vehs.get(local as usize).and_then(|v| v.as_ref())
+    }
+
+    /// Look up a VEH by its published (shard-tagged) id.
     pub fn veh(&self, id: VehId) -> Option<&Veh> {
-        self.vehs.get(id as usize).and_then(|v| v.as_ref())
+        self.veh_local(self.local_id(id)?)
     }
 
     /// Bytes of heap currently mapped (active + reclaimed extents and
@@ -283,18 +318,19 @@ impl LargeAlloc {
     pub fn veh_by_off(&self, off: PmOffset) -> Option<usize> {
         self.by_addr
             .get(&off)
-            .and_then(|id| self.veh(*id))
+            .and_then(|id| self.veh_local(*id))
             .and_then(|v| (v.state == ExtentState::Active).then_some(v.size))
     }
 
-    /// Every active extent: (veh, offset, is_slab). Used by recovery GC.
+    /// Every active extent: (tagged veh, offset, is_slab). Used by
+    /// recovery GC.
     pub fn active_extents(&self) -> Vec<(VehId, PmOffset, bool)> {
         self.vehs
             .iter()
             .enumerate()
             .filter_map(|(i, v)| v.as_ref().map(|v| (i as VehId, v)))
             .filter(|(_, v)| v.state == ExtentState::Active)
-            .map(|(i, v)| (i, v.off, v.is_slab))
+            .map(|(i, v)| (self.tag_id(i), v.off, v.is_slab))
             .collect()
     }
 
@@ -314,6 +350,7 @@ impl LargeAlloc {
     }
 
     fn new_veh(&mut self, veh: Veh) -> VehId {
+        debug_assert!(self.vehs.len() < VEH_LOCAL_MASK as usize, "shard VEH table full");
         if let Some(id) = self.veh_free.pop() {
             self.vehs[id as usize] = Some(veh);
             id
@@ -575,8 +612,8 @@ impl LargeAlloc {
         is_slab: bool,
     ) -> PmResult<(VehId, PmOffset)> {
         let (id, off) = self.alloc_reserve(pool, t, size, align, is_slab)?;
-        self.commit_extent(pool, t, id)?;
-        Ok((id, off))
+        self.commit_local(pool, t, id)?;
+        Ok((self.tag_id(id), off))
     }
 
     /// Reserve an extent *without* persisting its metadata record or
@@ -593,7 +630,8 @@ impl LargeAlloc {
         t: &mut PmThread,
         size: usize,
     ) -> PmResult<(VehId, PmOffset)> {
-        self.alloc_reserve(pool, t, size, PAGE, false)
+        let (id, off) = self.alloc_reserve(pool, t, size, PAGE, false)?;
+        Ok((self.tag_id(id), off))
     }
 
     /// Persist the metadata record of a reserved extent and register it in
@@ -601,10 +639,19 @@ impl LargeAlloc {
     ///
     /// # Errors
     /// Propagates booklog append failures.
+    ///
+    /// # Panics
+    /// Panics if `id` carries another shard's tag.
     pub fn commit_extent(&mut self, pool: &PmemPool, t: &mut PmThread, id: VehId) -> PmResult<()> {
+        let local = self.local_id(id).expect("commit of foreign-shard veh");
+        self.commit_local(pool, t, local)
+    }
+
+    fn commit_local(&mut self, pool: &PmemPool, t: &mut PmThread, id: VehId) -> PmResult<()> {
         self.persist_extent(pool, t, id)?;
+        let tagged = self.tag_id(id);
         let v = self.vehs[id as usize].as_ref().expect("live veh");
-        self.rtree.insert_range(v.off, v.size, Owner::Extent { veh: id }.pack());
+        self.rtree.insert_range(v.off, v.size, Owner::Extent { veh: tagged }.pack());
         Ok(())
     }
 
@@ -768,6 +815,7 @@ impl LargeAlloc {
     /// # Errors
     /// [`PmError::NotAllocated`] if the extent is not active (double free).
     pub fn free(&mut self, pool: &PmemPool, t: &mut PmThread, id: VehId) -> PmResult<()> {
+        let Some(id) = self.local_id(id) else { return Err(PmError::NotAllocated) };
         let (off, size, state, huge) = match self.vehs.get(id as usize).and_then(|v| v.as_ref()) {
             Some(v) => (v.off, v.size, v.state, v.huge),
             None => return Err(PmError::NotAllocated),
@@ -1053,9 +1101,10 @@ impl LargeAlloc {
         for (idx, v) in la.vehs.iter().enumerate() {
             let Some(v) = v else { continue };
             if v.state == ExtentState::Active {
-                la.rtree.insert_range(v.off, v.size, Owner::Extent { veh: idx as VehId }.pack());
+                let tagged = la.tag_id(idx as VehId);
+                la.rtree.insert_range(v.off, v.size, Owner::Extent { veh: tagged }.pack());
                 out.push(RecoveredExtent {
-                    veh: idx as VehId,
+                    veh: tagged,
                     off: v.off,
                     size: v.size,
                     is_slab: v.is_slab,
@@ -1120,6 +1169,7 @@ mod tests {
             decay_ms: 10_000,
             region_table_base: 1 << 20,
             region_table_bytes: 64 << 10,
+            shard_tag: 0,
         };
         let rtree = Arc::new(RTree::new());
         let la = LargeAlloc::new(&pool, cfg, rtree);
@@ -1224,6 +1274,24 @@ mod tests {
         }
         la.free(&pool, &mut t, id).unwrap();
         assert!(rtree.lookup(off).is_none(), "freed extent must leave the rtree");
+    }
+
+    #[test]
+    fn shard_tag_routes_ids() {
+        let (pool, mut la, mut t) = setup(true);
+        la.cfg.shard_tag = 3 << VEH_LOCAL_BITS;
+        let (id, off) = la.alloc(&pool, &mut t, 64 << 10, false).unwrap();
+        assert_eq!(id >> VEH_LOCAL_BITS, 3, "published ids carry the shard tag");
+        assert!(la.veh(id).is_some());
+        assert!(la.veh(id & VEH_LOCAL_MASK).is_none(), "untagged id must not resolve");
+        // The rtree handle carries the tag too, so free-by-address routes.
+        match Owner::unpack(la.rtree().lookup(off).unwrap()) {
+            Owner::Extent { veh } => assert_eq!(veh, id),
+            o => panic!("wrong owner {o:?}"),
+        }
+        // A free carrying the wrong shard tag is rejected; the right one works.
+        assert!(la.free(&pool, &mut t, id & VEH_LOCAL_MASK).is_err());
+        la.free(&pool, &mut t, id).unwrap();
     }
 
     #[test]

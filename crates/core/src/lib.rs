@@ -60,6 +60,7 @@ mod morph;
 mod recovery;
 mod remote;
 mod rtree;
+mod shards;
 mod size_class;
 mod slab;
 mod tcache;
@@ -81,7 +82,7 @@ pub mod internals {
     pub use crate::interleave::Interleave;
     pub use crate::large::{
         smootherstep, ExtentState, LargeAlloc, LargeConfig, LargeStats, RecoveredExtent, Veh,
-        VehId, HUGE_MIN, PAGE, REGION_BYTES, REGION_HEADER_BYTES,
+        VehId, HUGE_MIN, PAGE, REGION_BYTES, REGION_HEADER_BYTES, VEH_LOCAL_BITS, VEH_LOCAL_MASK,
     };
     pub use crate::rtree::{Owner, RTree};
     pub use crate::size_class::CLASS_SIZES;

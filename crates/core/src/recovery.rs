@@ -19,8 +19,6 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use nvalloc_pmem::{FlushKind, PmError, PmOffset, PmResult, PmThread, PmemPool};
 
 use crate::arena::{arena_state, Arena};
@@ -28,8 +26,9 @@ use crate::bitmap::PmBitmap;
 use crate::config::{NvConfig, Variant};
 use crate::front::{Layout, NvAllocator, NvInner, RecoveryReport, POOL_MAGIC};
 use crate::geometry::GeometryTable;
-use crate::large::{LargeAlloc, RecoveredExtent, VehId};
+use crate::large::{RecoveredExtent, VehId};
 use crate::rtree::{Owner, RTree};
+use crate::shards::ShardedLarge;
 use crate::size_class::{class_size, SLAB_SIZE};
 use crate::slab::{
     flag, header_word1, persist_flag, read_index_entry, IndexEntry, MorphState, SlabHeader, VSlab,
@@ -70,10 +69,12 @@ pub(crate) fn recover(
     }
 
     // Rebuild the large allocator (booklog scan or region-table scan).
+    // Shards recover in ascending index order, so the merged extent list
+    // is deterministic for a given pool image.
     let rtree = Arc::new(RTree::new());
     let mut large_cfg = layout.large_config_pub(&cfg);
     large_cfg.slow_gc_threshold = ((pool.size() as f64 * cfg.usage_pmem) as usize).max(4096);
-    let (mut large, extents) = LargeAlloc::recover(&pool, large_cfg, Arc::clone(&rtree));
+    let (large, extents) = ShardedLarge::recover(&pool, large_cfg, layout.large_shards, &rtree);
 
     // Reconstruct slabs (and resolve interrupted morphs).
     let mut vslabs: Vec<VSlab> = Vec::new();
@@ -114,7 +115,8 @@ pub(crate) fn recover(
                     &layout,
                     &geoms,
                     &arenas,
-                    &mut large,
+                    &large,
+                    &rtree,
                     &mut vslabs,
                     &mut report,
                 )?;
@@ -125,7 +127,8 @@ pub(crate) fn recover(
                     &mut t,
                     &layout,
                     &geoms,
-                    &mut large,
+                    &large,
+                    &rtree,
                     &mut vslabs,
                     &mut report,
                 )?;
@@ -187,7 +190,7 @@ pub(crate) fn recover(
         geoms,
         layout,
         arenas,
-        large: Mutex::new(large),
+        large,
         rtree,
         live_bytes: AtomicUsize::new(live_bytes),
         wal_seq: AtomicU64::new(max_seq + 1),
@@ -304,7 +307,8 @@ fn replay_wals(
     layout: &Layout,
     geoms: &GeometryTable,
     arenas: &[Arc<Arena>],
-    large: &mut LargeAlloc,
+    large: &ShardedLarge,
+    rtree: &RTree,
     vslabs: &mut [VSlab],
     report: &mut RecoveryReport,
 ) -> PmResult<()> {
@@ -371,7 +375,7 @@ fn replay_wals(
                 // The free never finished clearing the destination.
                 pool.persist_u64(t, e.dest, 0, FlushKind::Meta);
             }
-        } else if let Some(Owner::Extent { veh }) = large_owner_of(large, e.addr) {
+        } else if let Some(Owner::Extent { veh }) = large_owner_of(large, rtree, e.addr) {
             let should_be_live = matches!(e.op, WalOp::Alloc) && committed_alloc;
             if !should_be_live {
                 if matches!(e.op, WalOp::Free) && committed_alloc {
@@ -388,8 +392,8 @@ fn replay_wals(
     Ok(())
 }
 
-fn large_owner_of(large: &LargeAlloc, addr: PmOffset) -> Option<Owner> {
-    large.rtree().lookup(addr).map(Owner::unpack).filter(|o| match o {
+fn large_owner_of(large: &ShardedLarge, rtree: &RTree, addr: PmOffset) -> Option<Owner> {
+    rtree.lookup(addr).map(Owner::unpack).filter(|o| match o {
         Owner::Extent { veh } => large.veh(*veh).is_some_and(|v| v.off == addr),
         _ => false,
     })
@@ -416,12 +420,14 @@ fn rebuild_counts(m: &mut MorphState, data_offset: usize, bs: usize, nblocks: us
 /// NVAlloc-GC failure recovery: conservative mark from the root slots,
 /// then rebuild every slab bitmap and free unreachable extents (§4.4,
 /// following Makalu).
+#[allow(clippy::too_many_arguments)]
 fn conservative_gc(
     pool: &PmemPool,
     t: &mut PmThread,
     layout: &Layout,
     geoms: &GeometryTable,
-    large: &mut LargeAlloc,
+    large: &ShardedLarge,
+    rtree: &RTree,
     vslabs: &mut [VSlab],
     report: &mut RecoveryReport,
 ) -> PmResult<()> {
@@ -462,7 +468,7 @@ fn conservative_gc(
                 }
                 return false;
             }
-            if let Some(Owner::Extent { veh }) = large_owner_of(large, p) {
+            if let Some(Owner::Extent { veh }) = large_owner_of(large, rtree, p) {
                 let size = large.veh(veh).expect("validated").size;
                 if marked.insert(p) {
                     queue.push_back((p, size));
@@ -555,7 +561,7 @@ fn conservative_gc(
     Ok(())
 }
 
-fn large_active_nonslab(large: &LargeAlloc) -> Vec<(VehId, PmOffset)> {
+fn large_active_nonslab(large: &ShardedLarge) -> Vec<(VehId, PmOffset)> {
     large
         .active_extents()
         .into_iter()

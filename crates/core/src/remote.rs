@@ -94,7 +94,6 @@ impl RemoteFreeQueue {
 
     /// True when no entries are queued (racy, advisory: a concurrent push
     /// may land right after the load).
-    #[allow(dead_code)] // exercised by the unit tests
     pub fn is_empty(&self) -> bool {
         self.head.load(Ordering::Acquire).is_null()
     }

@@ -258,13 +258,16 @@ pub enum Counter {
     RemoteDrainBatches,
     /// Blocks returned to slabs by remote-queue drains.
     RemoteDrained,
+    /// Foreign-arena remote queues drained opportunistically by a malloc
+    /// slow path (the drain hook; counts non-empty drains).
+    RemoteDrainForeign,
     /// Slab carves served from a per-arena reservoir.
     ReservoirHits,
-    /// Slab carves that had to take the large-allocator lock.
+    /// Slab carves that had to take a large-shard lock.
     ReservoirMisses,
 }
 
-const NUM_COUNTERS: usize = 16;
+const NUM_COUNTERS: usize = 17;
 const TCACHE_EVENTS: usize = 4;
 
 /// The allocator's internal metrics registry.
@@ -372,6 +375,7 @@ impl CoreMetrics {
         s.free_remote = c(Counter::FreeRemote);
         s.remote_drain_batches = c(Counter::RemoteDrainBatches);
         s.remote_drained = c(Counter::RemoteDrained);
+        s.remote_drain_foreign = c(Counter::RemoteDrainForeign);
         s.reservoir_hits = c(Counter::ReservoirHits);
         s.reservoir_misses = c(Counter::ReservoirMisses);
         s.hists = *self.hists.lock();
@@ -455,6 +459,22 @@ pub struct MetricsSnapshot {
     pub remote_drain_batches: u64,
     /// Blocks returned to slabs by remote-queue drains.
     pub remote_drained: u64,
+    /// Foreign-arena remote queues drained opportunistically by a malloc
+    /// slow path (the drain hook; counts non-empty drains).
+    pub remote_drain_foreign: u64,
+    /// Large-shard mutex acquisitions on the large-op path (alloc, free,
+    /// and slab carve/retire; observer reads are excluded).
+    pub large_lock_acquires: u64,
+    /// Large-shard mutex acquisitions that found the lock held and had to
+    /// block. `large_lock_contended / large_lock_acquires` is the shard
+    /// contention rate.
+    pub large_lock_contended: u64,
+    /// Per-shard breakdown of [`Self::large_lock_acquires`], indexed by
+    /// shard number.
+    pub large_shard_acquires: Vec<u64>,
+    /// Per-shard breakdown of [`Self::large_lock_contended`], indexed by
+    /// shard number.
+    pub large_shard_contended: Vec<u64>,
     /// Slab carves served from a per-arena reservoir.
     pub reservoir_hits: u64,
     /// Slab carves that had to take the large-allocator lock.
@@ -522,6 +542,23 @@ impl MetricsSnapshot {
                 .remote_drain_batches
                 .saturating_sub(earlier.remote_drain_batches),
             remote_drained: self.remote_drained.saturating_sub(earlier.remote_drained),
+            remote_drain_foreign: self
+                .remote_drain_foreign
+                .saturating_sub(earlier.remote_drain_foreign),
+            large_lock_acquires: self
+                .large_lock_acquires
+                .saturating_sub(earlier.large_lock_acquires),
+            large_lock_contended: self
+                .large_lock_contended
+                .saturating_sub(earlier.large_lock_contended),
+            large_shard_acquires: Self::vec_since(
+                &self.large_shard_acquires,
+                &earlier.large_shard_acquires,
+            ),
+            large_shard_contended: Self::vec_since(
+                &self.large_shard_contended,
+                &earlier.large_shard_contended,
+            ),
             reservoir_hits: self.reservoir_hits.saturating_sub(earlier.reservoir_hits),
             reservoir_misses: self.reservoir_misses.saturating_sub(earlier.reservoir_misses),
             booklog_appends: self.booklog_appends.saturating_sub(earlier.booklog_appends),
@@ -545,6 +582,16 @@ impl MetricsSnapshot {
             decay_epochs: self.decay_epochs.saturating_sub(earlier.decay_epochs),
             hists: self.hists.since(&earlier.hists),
         }
+    }
+
+    /// Elementwise saturating difference of per-shard counter vectors;
+    /// entries missing from `earlier` are treated as zero (mirrors the
+    /// per-class tcache convention).
+    fn vec_since(now: &[u64], earlier: &[u64]) -> Vec<u64> {
+        now.iter()
+            .enumerate()
+            .map(|(i, v)| v.saturating_sub(*earlier.get(i).unwrap_or(&0)))
+            .collect()
     }
 
     /// The snapshot as one JSON object (no trailing newline). Per-class
@@ -585,6 +632,11 @@ impl MetricsSnapshot {
         o.field_u64("free_remote", self.free_remote);
         o.field_u64("remote_drain_batches", self.remote_drain_batches);
         o.field_u64("remote_drained", self.remote_drained);
+        o.field_u64("remote_drain_foreign", self.remote_drain_foreign);
+        o.field_u64("large_lock_acquires", self.large_lock_acquires);
+        o.field_u64("large_lock_contended", self.large_lock_contended);
+        o.field_raw("large_shard_acquires", &json::u64_array(&self.large_shard_acquires));
+        o.field_raw("large_shard_contended", &json::u64_array(&self.large_shard_contended));
         o.field_u64("reservoir_hits", self.reservoir_hits);
         o.field_u64("reservoir_misses", self.reservoir_misses);
         o.field_u64("booklog_appends", self.booklog_appends);

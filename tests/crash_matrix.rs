@@ -213,6 +213,203 @@ fn gc_variant_multithreaded_crash() {
     }
 }
 
+/// One step of the cross-shard large-allocation trace. `th` selects one
+/// of four allocator threads, each pinned (by least-loaded assignment at
+/// creation) to a distinct arena — so each has a distinct preferred large
+/// shard, and frees route by address to whichever shard owns the extent,
+/// regardless of the freeing thread.
+#[derive(Clone, Copy)]
+enum LOp {
+    A { th: usize, slot: usize, size: usize },
+    F { th: usize, slot: usize },
+}
+
+/// Deterministic interleaving of large allocs/frees across 4 threads,
+/// including cross-thread (and therefore cross-shard) frees.
+fn sharded_trace() -> Vec<LOp> {
+    use LOp::{A, F};
+    vec![
+        A { th: 0, slot: 0, size: 18 << 10 },
+        A { th: 1, slot: 1, size: 33 << 10 },
+        A { th: 2, slot: 2, size: 70 << 10 },
+        A { th: 3, slot: 3, size: 25 << 10 },
+        A { th: 0, slot: 4, size: 48 << 10 },
+        F { th: 1, slot: 1 },
+        A { th: 1, slot: 5, size: 90 << 10 },
+        F { th: 3, slot: 0 }, // cross-shard: t3 frees t0's extent
+        A { th: 2, slot: 6, size: 21 << 10 },
+        A { th: 3, slot: 7, size: 60 << 10 },
+        F { th: 0, slot: 2 }, // cross-shard: t0 frees t2's extent
+        F { th: 2, slot: 3 }, // cross-shard: t2 frees t3's extent
+        A { th: 0, slot: 8, size: 40 << 10 },
+        A { th: 1, slot: 9, size: 17 << 10 },
+        F { th: 1, slot: 4 },
+        F { th: 0, slot: 5 },
+        A { th: 2, slot: 10, size: 80 << 10 },
+        F { th: 3, slot: 6 },
+        F { th: 2, slot: 9 },
+        A { th: 3, slot: 11, size: 28 << 10 },
+    ]
+}
+
+/// Run the first `steps` ops of the cross-shard trace under `cfg`, then
+/// crash. Returns the crash image and the model of committed live slots.
+fn run_sharded_prefix(
+    cfg: NvConfig,
+    gc_contract: bool,
+    steps: usize,
+) -> (Arc<PmemPool>, HashMap<usize, (u64, usize)>) {
+    use nvalloc_pmem::FlushKind;
+    let pool = PmemPool::new(
+        PmemConfig::default()
+            .pool_size(128 << 20)
+            .latency_mode(LatencyMode::Off)
+            .crash_tracking(true),
+    );
+    let alloc = NvAllocator::create(Arc::clone(&pool), cfg).unwrap();
+    assert!(alloc.large_shards() >= 4, "need >= 4 shards, got {}", alloc.large_shards());
+    let mut ts: Vec<_> = (0..4).map(|_| alloc.thread()).collect();
+    let mut live: HashMap<usize, (u64, usize)> = HashMap::new();
+    for op in sharded_trace().into_iter().take(steps) {
+        match op {
+            LOp::A { th, slot, size } => {
+                let root = alloc.root_offset(slot);
+                let addr = ts[th].malloc_to(size, root).unwrap();
+                if gc_contract {
+                    // GC model: the app persists its own roots.
+                    pool.flush(ts[th].pm_mut(), root, 8, FlushKind::Data);
+                }
+                pool.write_u64(addr, slot as u64 | 0xD0D0 << 32);
+                pool.flush(ts[th].pm_mut(), addr, 8, FlushKind::Data);
+                pool.fence(ts[th].pm_mut());
+                live.insert(slot, (addr, size));
+            }
+            LOp::F { th, slot } => {
+                let root = alloc.root_offset(slot);
+                if gc_contract {
+                    // GC model: drop the reference; recovery collects it.
+                    pool.write_u64(root, 0);
+                    pool.flush(ts[th].pm_mut(), root, 8, FlushKind::Data);
+                    pool.fence(ts[th].pm_mut());
+                } else {
+                    ts[th].free_from(root).unwrap();
+                }
+                live.remove(&slot);
+            }
+        }
+    }
+    (pool, live)
+}
+
+/// Recover a crashed cross-shard image and assert the shard invariants:
+/// committed extents survive with payloads, no extent is double-owned
+/// (live ranges are disjoint), none is lost (every live slot enumerable,
+/// everything frees exactly once, space is fully reusable).
+fn verify_sharded_recovery(
+    pool: Arc<PmemPool>,
+    cfg: NvConfig,
+    live: &HashMap<usize, (u64, usize)>,
+) {
+    let img = PmemPool::from_crash_image(pool.crash());
+    let (alloc, report) = NvAllocator::recover(Arc::clone(&img), cfg).expect("recover");
+    assert!(!report.normal_shutdown);
+    assert!(alloc.large_shards() >= 4);
+    for (&slot, &(addr, _)) in live {
+        assert_eq!(img.read_u64(alloc.root_offset(slot)), addr, "root {slot}");
+        assert_eq!(img.read_u64(addr), slot as u64 | 0xD0D0 << 32, "payload {slot}");
+    }
+    // No double-ownership across shards: every live range is disjoint.
+    let mut objs = alloc.objects();
+    objs.sort_unstable();
+    for w in objs.windows(2) {
+        assert!(
+            w[0].0 + w[0].1 as u64 <= w[1].0,
+            "extent double-owned: {:#x}+{} overlaps {:#x}",
+            w[0].0,
+            w[0].1,
+            w[1].0
+        );
+    }
+    // No extent lost: every committed allocation is enumerable at (at
+    // least) its requested size.
+    for (&slot, &(addr, size)) in live {
+        assert!(
+            objs.iter().any(|&(o, s)| o == addr && s >= size),
+            "extent of slot {slot} lost ({addr:#x}, {size})"
+        );
+    }
+    // Everything frees exactly once, and the space is reusable.
+    let mut t = alloc.thread();
+    for &slot in live.keys() {
+        t.free_from(alloc.root_offset(slot)).unwrap();
+        assert!(t.free_from(alloc.root_offset(slot)).is_err(), "double free of {slot}");
+    }
+    assert_eq!(alloc.live_bytes(), 0);
+    for i in 0..24usize {
+        t.malloc_to(48 << 10, alloc.root_offset(300 + i)).unwrap();
+    }
+}
+
+#[test]
+fn sharded_large_crash_matrix_log() {
+    let len = sharded_trace().len();
+    for steps in 0..=len {
+        let cfg = || NvConfig::log().arenas(4);
+        let (pool, live) = run_sharded_prefix(cfg(), false, steps);
+        verify_sharded_recovery(pool, cfg(), &live);
+    }
+}
+
+#[test]
+fn sharded_large_crash_matrix_gc() {
+    let len = sharded_trace().len();
+    for steps in 0..=len {
+        let cfg = || NvConfig::gc().arenas(4);
+        let (pool, live) = run_sharded_prefix(cfg(), true, steps);
+        verify_sharded_recovery(pool, cfg(), &live);
+    }
+}
+
+#[test]
+fn reservoir_crash_accounting_is_pinned() {
+    // The slab reservoir now defaults on (batch = 8): the first small
+    // allocation carves a batch of 8 slab frames, one becomes a live slab
+    // and 7 sit in the volatile reservoir with scrubbed headers. A crash
+    // must surface exactly those 7 as fixed leaks, and the space must be
+    // fully reusable afterwards.
+    let cfg = NvConfig::log();
+    assert_eq!(cfg.slab_reservoir, 8, "reservoir default changed; update this pin");
+    let pool = PmemPool::new(
+        PmemConfig::default()
+            .pool_size(96 << 20)
+            .latency_mode(LatencyMode::Off)
+            .crash_tracking(true),
+    );
+    let alloc = NvAllocator::create(Arc::clone(&pool), NvConfig::log()).unwrap();
+    let mut t = alloc.thread();
+    let addr = t.malloc_to(100, alloc.root_offset(0)).unwrap();
+    pool.write_u64(addr, 0xFEED);
+    pool.flush(t.pm_mut(), addr, 8, nvalloc_pmem::FlushKind::Data);
+    pool.fence(t.pm_mut());
+
+    let img = PmemPool::from_crash_image(pool.crash());
+    let (alloc2, report) = NvAllocator::recover(Arc::clone(&img), NvConfig::log()).unwrap();
+    assert_eq!(report.slabs, 1, "exactly one slab has a persisted header");
+    assert_eq!(
+        report.leaks_fixed,
+        cfg.slab_reservoir - 1,
+        "reserved-but-unused slab frames must be reclaimed as leaks"
+    );
+    assert_eq!(img.read_u64(addr), 0xFEED);
+    let mut t2 = alloc2.thread();
+    t2.free_from(alloc2.root_offset(0)).unwrap();
+    assert_eq!(alloc2.live_bytes(), 0);
+    // The reclaimed frames are allocatable again.
+    for i in 0..256usize {
+        t2.malloc_to(1200, alloc2.root_offset(1 + i)).unwrap();
+    }
+}
+
 #[test]
 fn crash_during_recovery_is_recoverable() {
     // §4.4: "If the recovery process finds the flag is running or

@@ -5,6 +5,7 @@
 
 use std::sync::Arc;
 
+use nvalloc::api::PmAllocator;
 use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
 use nvalloc_workloads::allocators::Which;
 use proptest::prelude::*;
@@ -77,6 +78,136 @@ fn check(which: Which, steps: &[Step]) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Differential property: the same op trace on a sharded large allocator
+/// and on a single-shard one (`large_shards(1)`) must produce the same
+/// observable behaviour — identical per-op outcomes, identical live-set
+/// contents (payloads, live bytes, object-size multiset), and identical
+/// post-crash recovery state. Addresses are allowed to differ (shards own
+/// different sub-heaps); everything address-independent must match.
+fn check_sharded_differential(steps: &[Step]) -> Result<(), TestCaseError> {
+    use nvalloc::{NvAllocator, NvConfig};
+
+    let mk = |shards: usize| {
+        let pool = PmemPool::new(
+            PmemConfig::default()
+                .pool_size(128 << 20)
+                .latency_mode(LatencyMode::Off)
+                .crash_tracking(true),
+        );
+        let alloc =
+            NvAllocator::create(Arc::clone(&pool), NvConfig::log().arenas(4).large_shards(shards))
+                .unwrap();
+        (pool, alloc)
+    };
+    let (pool_s, alloc_s) = mk(4);
+    let (pool_1, alloc_1) = mk(1);
+    prop_assert_eq!(alloc_s.large_shards(), 4);
+    prop_assert_eq!(alloc_1.large_shards(), 1);
+    let mut ts = alloc_s.thread();
+    let mut t1 = alloc_1.thread();
+    let mut live: [Option<usize>; 256] = [None; 256];
+
+    for step in steps {
+        match *step {
+            Step::Alloc { slot, size } => {
+                let slot = slot as usize;
+                if live[slot].is_some() {
+                    ts.free_from(alloc_s.root_offset(slot)).expect("sharded free");
+                    t1.free_from(alloc_1.root_offset(slot)).expect("1shard free");
+                    live[slot] = None;
+                }
+                let rs = ts.malloc_to(size, alloc_s.root_offset(slot));
+                let r1 = t1.malloc_to(size, alloc_1.root_offset(slot));
+                prop_assert_eq!(
+                    rs.is_ok(),
+                    r1.is_ok(),
+                    "alloc({size}) diverged: sharded {rs:?} vs 1-shard {r1:?}"
+                );
+                if let (Ok(a), Ok(b)) = (rs, r1) {
+                    let tag = slot as u64 ^ 0xD1FF;
+                    pool_s.write_u64(a, tag);
+                    pool_s.flush(ts.pm_mut(), a, 8, nvalloc_pmem::FlushKind::Data);
+                    pool_1.write_u64(b, tag);
+                    pool_1.flush(t1.pm_mut(), b, 8, nvalloc_pmem::FlushKind::Data);
+                    live[slot] = Some(size);
+                }
+            }
+            Step::Free { slot } => {
+                let slot = slot as usize;
+                let rs = ts.free_from(alloc_s.root_offset(slot));
+                let r1 = t1.free_from(alloc_1.root_offset(slot));
+                prop_assert_eq!(rs.is_ok(), r1.is_ok(), "free diverged at slot {slot}");
+                live[slot] = None;
+            }
+        }
+    }
+
+    // Live-set contents must match while running...
+    prop_assert_eq!(alloc_s.live_bytes(), alloc_1.live_bytes(), "live_bytes diverged");
+    let sizes = |objs: Vec<(u64, usize)>| {
+        let mut v: Vec<usize> = objs.into_iter().map(|(_, s)| s).collect();
+        v.sort_unstable();
+        v
+    };
+    prop_assert_eq!(
+        sizes(alloc_s.objects()),
+        sizes(alloc_1.objects()),
+        "object-size multiset diverged"
+    );
+
+    // ...and after crash-recovery of both images.
+    let img_s = PmemPool::from_crash_image(pool_s.crash());
+    let img_1 = PmemPool::from_crash_image(pool_1.crash());
+    let (rec_s, rep_s) =
+        NvAllocator::recover(Arc::clone(&img_s), NvConfig::log().arenas(4).large_shards(4))
+            .expect("recover sharded");
+    let (rec_1, rep_1) =
+        NvAllocator::recover(Arc::clone(&img_1), NvConfig::log().arenas(4).large_shards(1))
+            .expect("recover 1shard");
+    prop_assert_eq!(rep_s.normal_shutdown, rep_1.normal_shutdown);
+    prop_assert_eq!(rec_s.live_bytes(), rec_1.live_bytes(), "recovered live_bytes diverged");
+    prop_assert_eq!(
+        sizes(rec_s.objects()),
+        sizes(rec_1.objects()),
+        "recovered object multiset diverged"
+    );
+    for (slot, sz) in live.iter().enumerate() {
+        if sz.is_some() {
+            let a = img_s.read_u64(rec_s.root_offset(slot));
+            let b = img_1.read_u64(rec_1.root_offset(slot));
+            prop_assert!(a != 0 && b != 0, "slot {slot} lost by one side ({a:#x}/{b:#x})");
+            let tag = slot as u64 ^ 0xD1FF;
+            prop_assert_eq!(img_s.read_u64(a), tag, "sharded payload {slot}");
+            prop_assert_eq!(img_1.read_u64(b), tag, "1shard payload {slot}");
+        }
+    }
+    // Both recovered heaps drain to empty the same way.
+    let mut ds = rec_s.thread();
+    let mut d1 = rec_1.thread();
+    for (slot, sz) in live.iter().enumerate() {
+        if sz.is_some() {
+            ds.free_from(rec_s.root_offset(slot)).expect("post-recovery free (sharded)");
+            d1.free_from(rec_1.root_offset(slot)).expect("post-recovery free (1shard)");
+        }
+    }
+    prop_assert_eq!(rec_s.live_bytes(), 0);
+    prop_assert_eq!(rec_1.live_bytes(), 0);
+    Ok(())
+}
+
+/// Steps biased toward the large path so the differential property
+/// actually exercises shard selection, fallback, and cross-shard frees.
+fn large_step_strategy() -> impl Strategy<Value = Step> {
+    let size = prop_oneof![
+        2 => 17_000usize..97_000,
+        1 => 1usize..20_000,
+    ];
+    prop_oneof![
+        3 => (any::<u8>(), size).prop_map(|(slot, size)| Step::Alloc { slot, size }),
+        2 => any::<u8>().prop_map(|slot| Step::Free { slot }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
@@ -103,5 +234,17 @@ proptest! {
     #[test]
     fn pallocator_like_invariants(steps in proptest::collection::vec(step_strategy(), 1..150)) {
         check(Which::Pallocator, &steps)?;
+    }
+}
+
+proptest! {
+    // Heavier per case (two pools + two recoveries), so fewer cases.
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sharded_and_single_shard_are_observably_identical(
+        steps in proptest::collection::vec(large_step_strategy(), 1..120)
+    ) {
+        check_sharded_differential(&steps)?;
     }
 }
