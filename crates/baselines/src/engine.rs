@@ -8,16 +8,19 @@
 //! paper studies.
 
 use std::collections::{HashMap, VecDeque};
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use nvalloc::api::{AllocThread, PmAllocator};
 use nvalloc::internals::{
     BitmapLayout, GeometryTable, LargeAlloc, LargeConfig, Owner, PmBitmap, RTree, VehId,
     REGION_BYTES,
 };
+use nvalloc::telemetry::MetricsSnapshot;
 use nvalloc::{
     class_size, size_to_class, ClassId, PmError, PmOffset, PmResult, NUM_CLASSES, SLAB_SIZE,
 };
@@ -383,6 +386,61 @@ impl BArena {
     }
 }
 
+/// Wall-clock wait/hold accounting for the engine's shared mutexes (the
+/// global large-allocator lock, arena/thread heap locks, and WAL lane
+/// locks). NVAlloc's sharded large allocator carries the same probes, so
+/// the Fig. 22 harness can print contended nanoseconds per op for every
+/// series.
+#[derive(Debug, Default)]
+pub(crate) struct BLockStats {
+    pub wait_ns: AtomicU64,
+    pub hold_ns: AtomicU64,
+    pub acquires: AtomicU64,
+    pub contended: AtomicU64,
+}
+
+/// A mutex guard that credits its hold time to [`BLockStats`] on drop.
+pub(crate) struct TimedGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    stats: &'a BLockStats,
+    held: Instant,
+}
+
+impl<T> Deref for TimedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for TimedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for TimedGuard<'_, T> {
+    fn drop(&mut self) {
+        self.stats.hold_ns.fetch_add(self.held.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Lock `m`, recording whether the acquisition contended and how long it
+/// waited; the returned guard times the hold.
+fn timed_lock<'a, T>(stats: &'a BLockStats, m: &'a Mutex<T>) -> TimedGuard<'a, T> {
+    stats.acquires.fetch_add(1, Ordering::Relaxed);
+    let wait = Instant::now();
+    let guard = match m.try_lock() {
+        Some(g) => g,
+        None => {
+            stats.contended.fetch_add(1, Ordering::Relaxed);
+            m.lock()
+        }
+    };
+    stats.wait_ns.fetch_add(wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    TimedGuard { guard, stats, held: Instant::now() }
+}
+
 pub(crate) struct BInner {
     pub pool: Arc<PmemPool>,
     pub kind: BaselineKind,
@@ -396,6 +454,7 @@ pub(crate) struct BInner {
     /// thread frees and recovery.
     pub thread_heaps: Mutex<Vec<Arc<Mutex<BHeap>>>>,
     pub live_bytes: AtomicUsize,
+    pub locks: BLockStats,
     #[allow(dead_code)] // reserved for cross-arena ordering diagnostics
     pub seq: AtomicU64,
 }
@@ -486,6 +545,7 @@ impl Baseline {
             arenas,
             thread_heaps: Mutex::new(Vec::new()),
             live_bytes: AtomicUsize::new(0),
+            locks: BLockStats::default(),
             seq: AtomicU64::new(1),
         })))
     }
@@ -557,6 +617,19 @@ impl PmAllocator for Baseline {
 
     fn live_bytes(&self) -> usize {
         self.0.live_bytes.load(Ordering::Relaxed)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        // Baselines carry no internal telemetry beyond the shared-mutex
+        // probes; surface those so the Fig. 22 harness can report lock
+        // wait per op for every series.
+        let mut s = MetricsSnapshot::default();
+        let l = &self.0.locks;
+        s.lock_wait_ns = l.wait_ns.load(Ordering::Relaxed);
+        s.lock_hold_ns = l.hold_ns.load(Ordering::Relaxed);
+        s.large_lock_acquires = l.acquires.load(Ordering::Relaxed);
+        s.large_lock_contended = l.contended.load(Ordering::Relaxed);
+        s
     }
 
     fn exit(&self) {
@@ -634,8 +707,9 @@ impl BaselineThread {
                 if self.policy().wal == WalScheme::PerOpCommit {
                     self.bump_lane(&pool);
                 }
+                let inner = Arc::clone(&self.inner);
                 let wal_arc = Arc::clone(&self.arena);
-                let mut wal = wal_arc.wal.lock();
+                let mut wal = timed_lock(&inner.locks, &wal_arc.wal);
                 let mut entries = Vec::with_capacity(1 + self.policy().extra_tx_entries);
                 if self.policy().wal == WalScheme::PerOpCommit {
                     // PMDK lanes re-use *fixed* undo/redo slots for every
@@ -765,9 +839,9 @@ impl BaselineThread {
         let heap_arc;
         let mut heap = if let Some(h) = &self.own_heap {
             heap_arc = Arc::clone(h);
-            heap_arc.lock()
+            timed_lock(&inner.locks, &heap_arc)
         } else {
-            self.arena.heap.lock()
+            timed_lock(&inner.locks, &self.arena.heap)
         };
         // Try existing freelist slabs.
         let cap = self.policy().tcache_cap.max(1);
@@ -792,8 +866,13 @@ impl BaselineThread {
             return Ok(());
         }
         // New slab (static segregation: never repurpose another class's).
-        let (veh, off) =
-            inner.large.lock().alloc_aligned(pool, &mut self.pm, SLAB_SIZE, SLAB_SIZE, true)?;
+        let (veh, off) = timed_lock(&inner.locks, &inner.large).alloc_aligned(
+            pool,
+            &mut self.pm,
+            SLAB_SIZE,
+            SLAB_SIZE,
+            true,
+        )?;
         let scheme = match self.policy().meta {
             MetaScheme::SeqBitmap => SCHEME_BITMAP,
             MetaScheme::StateArray => SCHEME_STATE,
@@ -890,7 +969,8 @@ impl BaselineThread {
         } else {
             Arc::clone(&self.inner.arenas[idx as usize].heap)
         };
-        let mut heap = heap_arc.lock();
+        let inner = Arc::clone(&self.inner);
+        let mut heap = timed_lock(&inner.locks, &heap_arc);
         if !heap.slabs.contains_key(&slab_off) {
             return Err(PmError::Corrupt("slab missing"));
         }
@@ -978,8 +1058,10 @@ impl BaselineThread {
     fn malloc_large(&mut self, size: usize, dest: PmOffset) -> PmResult<PmOffset> {
         let inner = Arc::clone(&self.inner);
         let pool = &inner.pool;
-        let (veh, off) = inner.large.lock().alloc(pool, &mut self.pm, size, false)?;
-        let actual = inner.large.lock().veh(veh).map(|v| v.size).unwrap_or(size);
+        let (veh, off) =
+            timed_lock(&inner.locks, &inner.large).alloc(pool, &mut self.pm, size, false)?;
+        let actual =
+            timed_lock(&inner.locks, &inner.large).veh(veh).map(|v| v.size).unwrap_or(size);
         let entry = self.wal_begin(off, dest, size as u32, true);
         if self.policy().strong {
             pool.persist_u64(&mut self.pm, dest, off, FlushKind::Data);
@@ -996,7 +1078,7 @@ impl BaselineThread {
         let inner = Arc::clone(&self.inner);
         let pool = &inner.pool;
         {
-            let large = inner.large.lock();
+            let large = timed_lock(&inner.locks, &inner.large);
             let v = large.veh(veh).ok_or(PmError::NotAllocated)?;
             if v.off != addr {
                 return Err(PmError::NotAllocated);
@@ -1009,7 +1091,7 @@ impl BaselineThread {
             pool.write_u64(dest, 0);
             pool.charge_store(&mut self.pm, dest, 8);
         }
-        let mut large = inner.large.lock();
+        let mut large = timed_lock(&inner.locks, &inner.large);
         let size = large.veh(veh).map(|v| v.size).unwrap_or(0);
         large.free(pool, &mut self.pm, veh)?;
         drop(large);
@@ -1072,14 +1154,15 @@ impl AllocThread for BaselineThread {
         }
         // Flush pending embedded-list batches.
         if let MetaScheme::EmbeddedList { persist_every_free: false, .. } = self.policy().meta {
-            let pool = Arc::clone(&self.inner.pool);
+            let inner = Arc::clone(&self.inner);
+            let pool = Arc::clone(&inner.pool);
             let heaps: Vec<Arc<Mutex<BHeap>>> = if self.policy().per_thread_heaps {
-                self.inner.thread_heaps.lock().clone()
+                inner.thread_heaps.lock().clone()
             } else {
-                self.inner.arenas.iter().map(|a| Arc::clone(&a.heap)).collect()
+                inner.arenas.iter().map(|a| Arc::clone(&a.heap)).collect()
             };
             for h in heaps {
-                let mut heap = h.lock();
+                let mut heap = timed_lock(&inner.locks, &h);
                 let offs: Vec<u64> = heap.slabs.keys().copied().collect();
                 for off in offs {
                     let slab = heap.slabs.get_mut(&off).expect("listed");

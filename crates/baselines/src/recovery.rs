@@ -22,8 +22,8 @@ use nvalloc::{class_size, PmError, PmOffset, PmResult, SLAB_SIZE};
 use nvalloc_pmem::PmemPool;
 
 use crate::engine::{
-    geom_for, pool_magic, BArena, BHeap, BInner, BLayout, BSlab, BWalRecovered, Baseline,
-    SCHEME_BITMAP, SCHEME_LIST, SCHEME_STATE, SLAB_MAGIC,
+    geom_for, pool_magic, BArena, BHeap, BInner, BLayout, BLockStats, BSlab, BWalRecovered,
+    Baseline, SCHEME_BITMAP, SCHEME_LIST, SCHEME_STATE, SLAB_MAGIC,
 };
 use crate::policy::BaselineKind;
 
@@ -231,6 +231,7 @@ impl Baseline {
             arenas,
             thread_heaps,
             live_bytes: AtomicUsize::new(live_bytes),
+            locks: BLockStats::default(),
             seq: AtomicU64::new(1),
         }));
         Ok((b, report))

@@ -54,10 +54,15 @@ pub fn run_fig11(scale: &Scale) {
             "total (ms)",
         ]);
         for (name, cfg) in configs() {
-            let alloc = create_custom(pool_mb(1024), cfg, 1 << 19);
+            let alloc = create_custom(
+                pool_mb(1024),
+                cfg.trace(scale.tracing()).trace_events_per_thread(scale.trace_events()),
+                1 << 19,
+            );
             let mut m = measure(&alloc, bench, scale);
             m.allocator = name.to_string();
             scale.emit(&format!("fig11_breakdown/{bench}"), &m);
+            scale.finish(&*alloc);
             // Shares of the total cross-thread work: modelled PM time by
             // attribution kind plus the CPU (search/list/lock) component.
             let meta = m.stats.ns_of(FlushKind::Meta) as f64;

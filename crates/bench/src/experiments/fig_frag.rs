@@ -28,9 +28,18 @@ pub fn run_space(scale: &Scale) {
             r.peak_mapped
         };
         let with_sm = {
-            let a = create_custom(pool_mb(2048), NvConfig::log(), 1 << 20);
+            // The morphing run is the one worth tracing (`--trace` shows
+            // the four-step morph protocol; see EXPERIMENTS.md).
+            let a = create_custom(
+                pool_mb(2048),
+                NvConfig::log()
+                    .trace(scale.tracing())
+                    .trace_events_per_thread(scale.trace_events()),
+                1 << 20,
+            );
             let r = fragbench::run(&a, w, frag_params(scale));
             scale.emit(&format!("fig15a_space/{}/sm", w.name), &r.measurement);
+            scale.finish(&*a);
             r.peak_mapped
         };
         rep.row(&[w.name, &mib(makalu), &mib(wo_sm), &mib(with_sm)]);

@@ -52,9 +52,15 @@ fn sweep(title: &str, slug: &str, scale: &Scale, eadr: bool) {
         for &t in scale.threads() {
             let mut row = vec![t.to_string()];
             for w in Which::LARGE {
-                let alloc = w.create_with_roots(pool_for(t, eadr), 1 << 19);
+                let alloc = w.create_traced(
+                    pool_for(t, eadr),
+                    1 << 19,
+                    scale.tracing(),
+                    scale.trace_events(),
+                );
                 let m = run_bench(&alloc, bench, t, scale);
                 scale.emit(&format!("{slug}/{bench}"), &m);
+                scale.finish(&*alloc);
                 row.push(mops_cell(m.mops()));
             }
             let rrefs: Vec<&str> = row.iter().map(|s| s.as_str()).collect();

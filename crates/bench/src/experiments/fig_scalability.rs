@@ -57,6 +57,7 @@ fn run_series(
         },
     );
     scale.emit(bench, &m);
+    scale.finish(&**alloc);
     let frees = m.metrics.free_fast_local + m.metrics.free_remote + m.metrics.free_locks;
     let remote_pct = 100.0 * m.metrics.free_remote as f64 / frees.max(1) as f64;
     let locks_per_op = m.metrics.free_locks as f64 / m.ops.max(1) as f64;
@@ -73,6 +74,7 @@ fn run_series(
         &format!("{locks_per_op:.4}"),
         &format!("{large_locks_per_op:.4}"),
         &format!("{large_cont_per_op:.4}"),
+        &format!("{:.0}", m.lock_wait_ns_per_op()),
         &format!("{hit_pct:.1}"),
     ]);
     m
@@ -95,6 +97,7 @@ pub fn run_fig22(scale: &Scale) {
         "free locks/op",
         "large locks/op",
         "large cont/op",
+        "lock wait ns/op",
         "rsv hit %",
     ]);
     for &t in scale.threads() {
@@ -103,14 +106,23 @@ pub fn run_fig22(scale: &Scale) {
         // the large allocator defaults to one shard per arena.
         let sharded = create_custom(
             pool_sleep_mb(512),
-            NvConfig::log().arenas(t).slab_reservoir(RESERVOIR),
+            NvConfig::log()
+                .arenas(t)
+                .slab_reservoir(RESERVOIR)
+                .trace(scale.tracing())
+                .trace_events_per_thread(scale.trace_events()),
             1 << 18,
         );
         run_series(scale, &mut rep, "fig22_scalability", None, t, ops, &sharded);
 
         let single = create_custom(
             pool_sleep_mb(512),
-            NvConfig::log().arenas(t).slab_reservoir(RESERVOIR).large_shards(1),
+            NvConfig::log()
+                .arenas(t)
+                .slab_reservoir(RESERVOIR)
+                .large_shards(1)
+                .trace(scale.tracing())
+                .trace_events_per_thread(scale.trace_events()),
             1 << 18,
         );
         run_series(

@@ -20,8 +20,8 @@ fn run_bench(
     eadr: bool,
 ) -> BenchMeasurement {
     let pool = if eadr { pool_eadr_mb(512) } else { pool_mb(512) };
-    let alloc = which.create_with_roots(pool, 1 << 19);
-    match bench {
+    let alloc = which.create_traced(pool, 1 << 19, scale.tracing(), scale.trace_events());
+    let m = match bench {
         "Threadtest" => {
             let mut p = threadtest::Params::quick(threads);
             p.iterations = scale.ops(p.iterations, 2);
@@ -46,7 +46,9 @@ fn run_bench(
             larson::run(&alloc, p)
         }
         other => unreachable!("unknown bench {other}"),
-    }
+    };
+    scale.finish(&*alloc);
+    m
 }
 
 fn sweep(title: &str, slug: &str, set: &[Which], scale: &Scale, eadr: bool) {

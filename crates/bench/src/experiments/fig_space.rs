@@ -21,7 +21,12 @@ pub fn run_fig13(scale: &Scale) {
         for &t in scale.threads() {
             let mut row = vec![t.to_string()];
             for &w in &SET {
-                let alloc = w.create_with_roots(pool_mb(512 + t * 48), 1 << 19);
+                let alloc = w.create_traced(
+                    pool_mb(512 + t * 48),
+                    1 << 19,
+                    scale.tracing(),
+                    scale.trace_events(),
+                );
                 let m = match bench {
                     "Threadtest" => {
                         let mut p = threadtest::Params::quick(t);
@@ -36,6 +41,7 @@ pub fn run_fig13(scale: &Scale) {
                     }
                 };
                 scale.emit(&format!("fig13_space/{bench}"), &m);
+                scale.finish(&*alloc);
                 row.push(mib(m.peak_mapped));
             }
             let rrefs: Vec<&str> = row.iter().map(|s| s.as_str()).collect();

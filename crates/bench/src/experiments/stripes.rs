@@ -24,12 +24,17 @@ fn stripes_run(scale: &Scale, slug: &str, eadr: bool, threads: &[usize]) {
             // sweep forces it on to show stripes no longer matter.
             let cfg = NvConfig { auto_eadr: false, ..cfg };
             let pool = if eadr { pool_eadr_mb(512) } else { pool_mb(512) };
-            let alloc = create_custom(pool, cfg, 1 << 19);
+            let alloc = create_custom(
+                pool,
+                cfg.trace(scale.tracing()).trace_events_per_thread(scale.trace_events()),
+                1 << 19,
+            );
             let mut p = threadtest::Params::quick(t);
             p.iterations = scale.ops(p.iterations, 2);
             p.objects = p.objects.min((1 << 19) / 8 / t.max(1)).max(16);
             let m = threadtest::run(&alloc, p);
             scale.emit(&format!("{slug}/stripes={s}"), &m);
+            scale.finish(&*alloc);
             row.push(format!("{:.2}", m.elapsed_ms()));
         }
         let rrefs: Vec<&str> = row.iter().map(|x| x.as_str()).collect();
@@ -55,10 +60,14 @@ pub fn run_fig16b(scale: &Scale) {
     println!("\n== Fig 16b: morphing SU threshold on Fragbench W4 ==");
     let mut rep = Reporter::new(&["SU %", "time (ms)", "peak mem (MiB)"]);
     for su in [0.10, 0.20, 0.30, 0.50] {
-        let cfg = NvConfig::log().su_threshold(su);
+        let cfg = NvConfig::log()
+            .su_threshold(su)
+            .trace(scale.tracing())
+            .trace_events_per_thread(scale.trace_events());
         let alloc = create_custom(pool_mb(2048), cfg, 1 << 20);
         let r = fragbench::run(&alloc, fragbench::TABLE1[3], frag_params(scale));
         scale.emit(&format!("fig16b_su_threshold/su={:.0}", su * 100.0), &r.measurement);
+        scale.finish(&*alloc);
         rep.row(&[
             &format!("{:.0}", su * 100.0),
             &format!("{:.1}", r.measurement.elapsed_ms()),

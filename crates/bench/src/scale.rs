@@ -10,6 +10,7 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
+use nvalloc::api::PmAllocator;
 use nvalloc_workloads::BenchMeasurement;
 
 /// Scale factor and thread sweep for an experiment run.
@@ -24,6 +25,20 @@ pub struct Scale {
     /// Exact per-thread operation count (`--ops`), overriding the scaled
     /// default in experiments that honour it (currently Fig. 22).
     pub fixed_ops: Option<usize>,
+    /// Destination for a Chrome trace-event JSON export of the flight
+    /// recorder (`--trace`). Turns `NvConfig::trace` on for the NVAlloc
+    /// series; each finished allocator overwrites the file, so the last
+    /// one of the run wins.
+    pub trace: Option<PathBuf>,
+    /// Destination for a heap-file image of the last finished allocator's
+    /// pool (`--save-pool`), written after an orderly `exit()` so the
+    /// image audits clean under `nvalloc_doctor`.
+    pub save_pool: Option<PathBuf>,
+    /// Flight-recorder ring capacity per thread (`--trace-events`,
+    /// default 4096). Rings drop oldest on wrap, so raise this to
+    /// capture a whole run — e.g. a morph that happens mid-workload —
+    /// at 40 B per event of DRAM.
+    pub trace_events: usize,
 }
 
 impl Scale {
@@ -61,8 +76,28 @@ impl Scale {
                         .unwrap_or_else(|e| panic!("--json {}: {e}", path.display()));
                     s.json = Some(path);
                 }
+                "--trace" => {
+                    i += 1;
+                    let path = PathBuf::from(args.get(i).expect("--trace takes an output path"));
+                    std::fs::File::create(&path)
+                        .unwrap_or_else(|e| panic!("--trace {}: {e}", path.display()));
+                    s.trace = Some(path);
+                }
+                "--save-pool" => {
+                    i += 1;
+                    let path =
+                        PathBuf::from(args.get(i).expect("--save-pool takes an output path"));
+                    std::fs::File::create(&path)
+                        .unwrap_or_else(|e| panic!("--save-pool {}: {e}", path.display()));
+                    s.save_pool = Some(path);
+                }
+                "--trace-events" => {
+                    i += 1;
+                    s.trace_events =
+                        args[i].parse().expect("--trace-events takes a per-thread ring capacity");
+                }
                 other => panic!(
-                    "unknown flag {other} (try --quick/--full/--threads 1,2,4/--ops 10000/--json out.jsonl)"
+                    "unknown flag {other} (try --quick/--full/--threads 1,2,4/--ops 10000/--json out.jsonl/--trace t.json/--trace-events 1000000/--save-pool p.heap)"
                 ),
             }
             i += 1;
@@ -78,6 +113,39 @@ impl Scale {
     /// The paper's full thread sweep, possibly overridden.
     pub fn threads(&self) -> &[usize] {
         &self.threads
+    }
+
+    /// True when `--trace` was given; experiments switch
+    /// `NvConfig::trace` on for the NVAlloc allocators they build.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Per-thread flight-recorder ring capacity (`--trace-events`).
+    pub fn trace_events(&self) -> usize {
+        self.trace_events
+    }
+
+    /// Post-run hooks for one finished allocator: export its flight
+    /// recorder as Chrome trace JSON (`--trace`) and/or save its pool as
+    /// a heap image (`--save-pool`). Later calls overwrite earlier ones,
+    /// so the last allocator of a run wins; CI narrows the sweep with
+    /// `--threads` to make that deterministic. The pool is saved after an
+    /// orderly `exit()` so the image audits clean.
+    pub fn finish(&self, alloc: &dyn PmAllocator) {
+        if let Some(path) = &self.trace {
+            if let Some(json) = alloc.trace_json() {
+                std::fs::write(path, json)
+                    .unwrap_or_else(|e| panic!("--trace {}: {e}", path.display()));
+            }
+        }
+        if let Some(path) = &self.save_pool {
+            alloc.exit();
+            alloc
+                .pool()
+                .save_heap_file(path, false)
+                .unwrap_or_else(|e| panic!("--save-pool {}: {e}", path.display()));
+        }
     }
 
     /// Append one measurement as a JSON line to the `--json` file, if any.
@@ -96,7 +164,15 @@ impl Scale {
 
 impl Default for Scale {
     fn default() -> Scale {
-        Scale { factor: 1.0, threads: vec![1, 2, 4, 8, 16, 32, 64], json: None, fixed_ops: None }
+        Scale {
+            factor: 1.0,
+            threads: vec![1, 2, 4, 8, 16, 32, 64],
+            json: None,
+            fixed_ops: None,
+            trace: None,
+            save_pool: None,
+            trace_events: 4096,
+        }
     }
 }
 
@@ -127,5 +203,17 @@ mod tests {
             metrics: Default::default(),
         };
         s.emit("noop", &m); // must not panic or touch the filesystem
+    }
+
+    #[test]
+    fn finish_without_flags_is_a_noop() {
+        let s = Scale::default();
+        let pool = nvalloc_pmem::PmemPool::new(
+            nvalloc_pmem::PmemConfig::default()
+                .pool_size(32 << 20)
+                .latency_mode(nvalloc_pmem::LatencyMode::Off),
+        );
+        let alloc = nvalloc::NvAllocator::create(pool, nvalloc::NvConfig::log().roots(16)).unwrap();
+        s.finish(&alloc); // no --trace/--save-pool: must not touch the fs
     }
 }

@@ -59,6 +59,14 @@ pub trait PmAllocator: Send + Sync + Debug {
         MetricsSnapshot::default()
     }
 
+    /// Merged flight-recorder stream serialized as Chrome trace-event
+    /// JSON, or `None` when tracing is disabled or unsupported (see
+    /// [`crate::trace`]). Baselines have no flight recorder and inherit
+    /// this default.
+    fn trace_json(&self) -> Option<String> {
+        None
+    }
+
     /// Orderly shutdown (the paper's `nvalloc_exit()`): flush volatile
     /// state that recovery would otherwise have to reconstruct and mark
     /// the heap cleanly closed.

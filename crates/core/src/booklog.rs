@@ -297,12 +297,23 @@ impl BookLog {
         t: &mut PmThread,
         entry: BookEntry,
     ) -> PmResult<EntryRef> {
-        self.append_word(pool, t, entry.encode())
+        let r = self.append_word(pool, t, entry.encode())?;
+        t.trace(crate::trace::EventKind::BooklogAppend.code(), entry.addr, entry.size as u64);
+        Ok(r)
     }
 
     fn append_word(&mut self, pool: &PmemPool, t: &mut PmThread, word: u64) -> PmResult<EntryRef> {
         if self.tail.is_none() || self.tail_fill as usize >= ENTRIES_PER_CHUNK {
+            let fast_chunks0 = self.stats.fast_gc_chunks;
+            let fast_runs0 = self.stats.fast_gc_runs;
             self.maybe_gc();
+            if self.stats.fast_gc_runs > fast_runs0 {
+                t.trace(
+                    crate::trace::EventKind::BooklogGc.code(),
+                    0,
+                    self.stats.fast_gc_chunks - fast_chunks0,
+                );
+            }
             let (id, epoch) = self.acquire_chunk(pool, t)?;
             self.link_at_tail(pool, t, id, epoch);
         }
@@ -460,6 +471,7 @@ impl BookLog {
         }
         // Atomic switch: persist the alt bit (header word 0).
         self.persist_header_word(pool, t, 0, self.alt);
+        t.trace(crate::trace::EventKind::BooklogGc.code(), 1, moves.len() as u64);
         // Recycle the old chain.
         let mut cur = old_head;
         let mut seen = 0u32;

@@ -103,6 +103,16 @@ pub struct NvConfig {
     /// histograms; see [`crate::telemetry`]). Recording is DRAM-side only
     /// and never perturbs the PM cost model, so it defaults to on.
     pub telemetry: bool,
+    /// Record flight-recorder events (see [`crate::trace`]): per-thread
+    /// lock-free ring buffers of binary events, exportable as a Chrome
+    /// trace. Like telemetry, recording is DRAM-side and observational;
+    /// it defaults to off because the rings cost
+    /// `threads × trace_events_per_thread × 40` bytes of DRAM.
+    pub trace: bool,
+    /// Flight-recorder ring capacity per registered thread, in events.
+    /// Oldest events are overwritten once a ring is full (surfaced by the
+    /// `trace_dropped` metric).
+    pub trace_events_per_thread: usize,
 }
 
 impl NvConfig {
@@ -129,6 +139,8 @@ impl NvConfig {
             booklog_bytes: 4 << 20,
             auto_eadr: true,
             telemetry: true,
+            trace: false,
+            trace_events_per_thread: 4096,
         }
     }
 
@@ -225,6 +237,18 @@ impl NvConfig {
     /// Enable/disable internal telemetry recording.
     pub fn telemetry(mut self, on: bool) -> Self {
         self.telemetry = on;
+        self
+    }
+
+    /// Enable/disable the flight recorder.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Set the flight-recorder ring capacity per thread, in events.
+    pub fn trace_events_per_thread(mut self, n: usize) -> Self {
+        self.trace_events_per_thread = n.max(1);
         self
     }
 

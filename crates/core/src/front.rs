@@ -18,8 +18,11 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use nvalloc_pmem::{FlushKind, PmError, PmOffset, PmResult, PmThread, PmemMode, PmemPool};
+use nvalloc_pmem::{
+    FlushKind, PmError, PmOffset, PmResult, PmThread, PmemMode, PmemPool, TracerHandle,
+};
 
 use crate::api::{AllocThread, PmAllocator};
 use crate::arena::{arena_state, Arena};
@@ -35,6 +38,7 @@ use crate::size_class::{class_size, size_to_class, ClassId, SLAB_SIZE};
 use crate::slab::{flag, SlabHeader, VSlab};
 use crate::tcache::TCache;
 use crate::telemetry::{CoreMetrics, Counter, MetricsSnapshot, OpHistograms, OpKind, TcacheEvent};
+use crate::trace::{EventKind, TraceRecorder};
 use crate::wal::{MicroWal, WalOp, WalRegion, MICRO_ENTRIES};
 
 /// Magic tag identifying an NVAlloc-formatted pool.
@@ -177,6 +181,9 @@ pub(crate) struct NvInner {
     pub live_bytes: AtomicUsize,
     pub wal_seq: AtomicU64,
     pub metrics: CoreMetrics,
+    /// Flight recorder (`NvConfig::trace`); threads register a ring on
+    /// creation and emit through their `PmThread`.
+    pub tracer: Option<Arc<TraceRecorder>>,
     /// Per-slab shared/exclusive gates arbitrating the lock-free free
     /// fast path against slab layout changes (morph, retire).
     pub slab_gates: SlabGates,
@@ -198,6 +205,7 @@ impl NvInner {
         }
         self.metrics.bump(Counter::RemoteDrainBatches);
         self.metrics.add(Counter::RemoteDrained, items.len() as u64);
+        t.trace(EventKind::RemoteDrain.code(), arena.id as u64, items.len() as u64);
         for f in &items {
             let idx = f.idx as usize;
             // The persistent free already happened on the freeing thread;
@@ -309,6 +317,7 @@ impl NvAllocator {
         pool.persist_u64(&mut t, 0, POOL_MAGIC, FlushKind::Meta);
 
         let metrics = CoreMetrics::new(cfg.telemetry);
+        let tracer = cfg.trace.then(|| Arc::new(TraceRecorder::new(cfg.trace_events_per_thread)));
         let slab_gates = SlabGates::new(pool.size());
         Ok(NvAllocator(Arc::new(NvInner {
             pool,
@@ -321,6 +330,7 @@ impl NvAllocator {
             live_bytes: AtomicUsize::new(0),
             wal_seq: AtomicU64::new(1),
             metrics,
+            tracer,
             slab_gates,
         })))
     }
@@ -421,6 +431,11 @@ impl NvAllocator {
         let mut t = self.0.pool.register_thread();
         let _ = self.0.large.drain_free_lists(&self.0.pool, &mut t);
     }
+
+    /// The flight recorder, when `NvConfig::trace` is on.
+    pub fn trace_recorder(&self) -> Option<&Arc<TraceRecorder>> {
+        self.0.tracer.as_ref()
+    }
 }
 
 impl PmAllocator for NvAllocator {
@@ -445,9 +460,13 @@ impl PmAllocator for NvAllocator {
         let micro_idx = arena.wal_next_micro.fetch_add(1, Ordering::Relaxed);
         let wal = arena.wal.micro(micro_idx, self.0.cfg.stripes_for(self.0.cfg.interleave_wal));
         let tc_stripes = if self.0.cfg.interleave_tcache { self.0.geoms.stripes() } else { 1 };
+        let mut pm = self.0.pool.register_thread();
+        if let Some(rec) = &self.0.tracer {
+            pm.set_tracer(rec.register());
+        }
         Box::new(NvThread {
             inner: Arc::clone(&self.0),
-            pm: self.0.pool.register_thread(),
+            pm,
             tcache: TCache::new(tc_stripes, self.0.cfg.tcache_cap),
             arena,
             wal,
@@ -501,8 +520,26 @@ impl PmAllocator for NvAllocator {
             s.large_lock_contended = cont.iter().sum();
             s.large_shard_acquires = acq;
             s.large_shard_contended = cont;
+            // Shard-mutex wait/hold times accumulate inside ShardedLarge
+            // (the guards can't reach CoreMetrics); fold them in here.
+            let (wait, hold) = self.0.large.lock_times();
+            s.lock_wait_ns += wait;
+            s.lock_hold_ns += hold;
+            let (wh, hh) = self.0.large.lock_time_hists();
+            s.lock_wait_hist.merge(&wh);
+            s.lock_hold_hist.merge(&hh);
+        }
+        // Trace accounting is independent of the telemetry toggle: the
+        // flight recorder can run with counters off.
+        if let Some(rec) = &self.0.tracer {
+            s.trace_events = rec.events();
+            s.trace_dropped = rec.dropped();
         }
         s
+    }
+
+    fn trace_json(&self) -> Option<String> {
+        self.0.tracer.as_ref().map(|r| r.chrome_json())
     }
 
     fn exit(&self) {
@@ -521,6 +558,43 @@ impl PmAllocator for NvAllocator {
         }
         pool.flush(&mut t, self.0.layout.roots, self.0.layout.roots_count * 8, FlushKind::Meta);
         pool.fence(&mut t);
+    }
+}
+
+/// Measures one arena-lock critical section. The caller times the
+/// acquire and hands over the wait; the hold runs from construction to
+/// drop, when both are recorded in the telemetry histograms and (if a
+/// tracer is attached) emitted as a `LockAcquire` event stamped at the
+/// acquisition's virtual-clock time. Wait/hold are wall-clock
+/// nanoseconds — lock contention is a host-side phenomenon the modelled
+/// PM clock cannot see — so recording never perturbs modelled results.
+struct LockProbe<'a> {
+    metrics: &'a CoreMetrics,
+    tracer: Option<TracerHandle>,
+    at_ns: u64,
+    wait_ns: u64,
+    held: Instant,
+}
+
+impl<'a> LockProbe<'a> {
+    fn new(metrics: &'a CoreMetrics, pm: &PmThread, wait_ns: u64) -> LockProbe<'a> {
+        LockProbe {
+            metrics,
+            tracer: pm.tracer().cloned(),
+            at_ns: pm.virtual_ns(),
+            wait_ns,
+            held: Instant::now(),
+        }
+    }
+}
+
+impl Drop for LockProbe<'_> {
+    fn drop(&mut self) {
+        let hold_ns = self.held.elapsed().as_nanos() as u64;
+        self.metrics.record_lock(self.wait_ns, hold_ns);
+        if let Some(t) = &self.tracer {
+            t.emit(self.at_ns, EventKind::LockAcquire.code(), self.wait_ns, hold_ns);
+        }
     }
 }
 
@@ -572,6 +646,7 @@ impl NvThread {
         let seq = self.next_seq();
         self.wal.append(&inner.pool, &mut self.pm, op, addr, dest, size, seq);
         inner.metrics.bump(Counter::WalAppends);
+        self.pm.trace(EventKind::WalAppend.code(), addr, seq);
     }
 
     /// Persist or plainly write the 8-byte destination slot, depending on
@@ -579,9 +654,14 @@ impl NvThread {
     /// `Data`: the destination is an application-owned location (§4.1), so
     /// its flush is not allocator heap-metadata traffic.
     fn write_dest(&mut self, dest: PmOffset, value: u64, persist: bool) {
-        let pool = &self.inner.pool;
+        let pool = Arc::clone(&self.inner.pool);
         if persist {
             pool.persist_u64(&mut self.pm, dest, value, FlushKind::Data);
+            // In the WAL-covered variants the persisted dest install *is*
+            // the commit record of the preceding append (§4.3).
+            if self.use_large_wal() {
+                self.pm.trace(EventKind::WalCommit.code(), value, dest);
+            }
         } else {
             pool.write_u64(dest, value);
             pool.charge_store(&mut self.pm, dest, 8);
@@ -600,6 +680,7 @@ impl NvThread {
     // ----- small path -----
 
     fn malloc_small(&mut self, class: ClassId, size: usize, dest: PmOffset) -> PmResult<PmOffset> {
+        let rot0 = self.tcache.rotations();
         let addr = match self.tcache.pop(class) {
             Some(a) => {
                 self.inner.metrics.tcache_event(class, TcacheEvent::Hit);
@@ -611,6 +692,9 @@ impl NvThread {
                 self.tcache.pop(class).ok_or(PmError::OutOfMemory { requested: size })?
             }
         };
+        if self.pm.tracing() && self.tcache.rotations() > rot0 {
+            self.pm.trace(EventKind::CursorRotate.code(), class as u64, 0);
+        }
         let pool = Arc::clone(&self.inner.pool);
         let strong = self.strong();
         if self.use_small_wal() {
@@ -645,12 +729,16 @@ impl NvThread {
         let pool = &inner.pool;
         inner.metrics.tcache_event(class, TcacheEvent::Refill);
         let arena = Arc::clone(&self.arena);
+        let wait = Instant::now();
         let mut ai = arena.inner.lock();
+        let _probe = LockProbe::new(&inner.metrics, &self.pm, wait.elapsed().as_nanos() as u64);
         // Drain deferred cross-arena frees first: remote-freed blocks are
         // the cheapest refill source, and draining on every refill keeps
         // the queue bounded by the refill cadence.
         inner.drain_remote(&mut self.pm, &arena, &mut ai);
-        if ai.fill_tcache(&inner.geoms, class, &mut self.tcache) > 0 {
+        let got = ai.fill_tcache(&inner.geoms, class, &mut self.tcache);
+        if got > 0 {
+            self.pm.trace(EventKind::TcacheRefill.code(), class as u64, got as u64);
             return Ok(());
         }
         if inner.cfg.morphing {
@@ -668,7 +756,9 @@ impl NvThread {
             .is_some();
             if morphed {
                 self.hists.record(OpKind::Morph, span.elapsed_ns(&self.pm));
-                if ai.fill_tcache(&inner.geoms, class, &mut self.tcache) > 0 {
+                let got = ai.fill_tcache(&inner.geoms, class, &mut self.tcache);
+                if got > 0 {
+                    self.pm.trace(EventKind::TcacheRefill.code(), class as u64, got as u64);
                     return Ok(());
                 }
             }
@@ -683,7 +773,8 @@ impl NvThread {
         );
         let vs = VSlab::create(pool, &mut self.pm, off, class, veh, inner.geoms.of(class), true);
         ai.add_slab(vs);
-        ai.fill_tcache(&inner.geoms, class, &mut self.tcache);
+        let got = ai.fill_tcache(&inner.geoms, class, &mut self.tcache);
+        self.pm.trace(EventKind::TcacheRefill.code(), class as u64, got as u64);
         Ok(())
     }
 
@@ -710,7 +801,7 @@ impl NvThread {
         }
         let mut oom = PmError::OutOfMemory { requested: SLAB_SIZE };
         for s in inner.large.shard_order(self.arena.id as usize) {
-            let mut large = inner.large.lock(s);
+            let mut large = inner.large.lock_traced(s, &self.pm);
             let first = match large.alloc_aligned(pool, &mut self.pm, SLAB_SIZE, SLAB_SIZE, true) {
                 Ok(f) => f,
                 Err(e @ PmError::OutOfMemory { .. }) => {
@@ -848,6 +939,7 @@ impl NvThread {
             let arena = owner.expect("resolved above");
             arena.remote.push(RemoteFree { slab: slab_off, idx: idx as u32 });
             inner.metrics.bump(Counter::FreeRemote);
+            self.pm.trace(EventKind::RemotePush.code(), addr, arena_id as u64);
         }
         Some(Ok(()))
     }
@@ -866,7 +958,9 @@ impl NvThread {
         let strong = self.strong();
         let arena =
             inner.arenas.get(arena_id as usize).ok_or(PmError::Corrupt("bad arena id in rtree"))?;
+        let wait = Instant::now();
         let mut ai = arena.inner.lock();
+        let _probe = LockProbe::new(&inner.metrics, &self.pm, wait.elapsed().as_nanos() as u64);
         inner.metrics.bump(Counter::FreeLocks);
 
         // Old-class block of a morphing slab? Released directly, bypassing
@@ -909,6 +1003,7 @@ impl NvThread {
         let stripe = g.bitmap.stripe_of(idx);
         if !self.tcache.push(class, addr, stripe) {
             inner.metrics.tcache_event(class, TcacheEvent::Flush);
+            self.pm.trace(EventKind::TcacheFlush.code(), class as u64, 1);
             if ai.return_block_to_slab(slab_off, idx) {
                 self.maybe_destroy_slab(&mut ai, slab_off)?;
             }
@@ -960,7 +1055,7 @@ impl NvThread {
         // interleave half-committed records from two shards.
         let mut oom = PmError::OutOfMemory { requested: size };
         for s in inner.large.shard_order(self.arena.id as usize) {
-            let mut large = inner.large.lock(s);
+            let mut large = inner.large.lock_traced(s, &self.pm);
             let (veh, off) = match large.alloc_deferred(pool, &mut self.pm, size) {
                 Ok(r) => r,
                 Err(e @ PmError::OutOfMemory { .. }) => {
@@ -995,7 +1090,7 @@ impl NvThread {
         // under a single lock acquisition, so a racing free cannot
         // recycle the VEH between validation and release.
         inner.metrics.bump(Counter::FreeLocks);
-        let mut large = inner.large.lock_veh(veh).ok_or(PmError::NotAllocated)?;
+        let mut large = inner.large.lock_veh_traced(veh, &self.pm).ok_or(PmError::NotAllocated)?;
         let v = large.veh(veh).ok_or(PmError::NotAllocated)?;
         if v.off != addr {
             return Err(PmError::NotAllocated);
@@ -1019,7 +1114,8 @@ impl AllocThread for NvThread {
             return Err(PmError::InvalidRequest("zero-size allocation"));
         }
         let span = self.pm.span();
-        match size_to_class(size) {
+        self.pm.trace(EventKind::MallocBegin.code(), size as u64, 0);
+        let r = match size_to_class(size) {
             Some(class) => {
                 let r = self.malloc_small(class, size, dest);
                 if r.is_ok() {
@@ -1034,7 +1130,9 @@ impl AllocThread for NvThread {
                 }
                 r
             }
-        }
+        };
+        self.pm.trace(EventKind::MallocEnd.code(), r.as_ref().map_or(0, |a| *a), 0);
+        r
     }
 
     fn free_from(&mut self, dest: PmOffset) -> PmResult<()> {
@@ -1045,6 +1143,7 @@ impl AllocThread for NvThread {
         }
         let owner = self.inner.rtree.lookup(addr).ok_or(PmError::NotAllocated)?;
         let span = self.pm.span();
+        self.pm.trace(EventKind::FreeBegin.code(), addr, 0);
         let r = match Owner::unpack(owner) {
             Owner::Slab { slab, arena } => self.free_small(slab, arena, addr, dest),
             Owner::Extent { veh } => self.free_large(veh, addr, dest),
@@ -1052,13 +1151,18 @@ impl AllocThread for NvThread {
         if r.is_ok() {
             self.hists.record(OpKind::Free, span.elapsed_ns(&self.pm));
         }
+        self.pm.trace(EventKind::FreeEnd.code(), addr, 0);
         r
     }
 
     fn flush_cache(&mut self) {
         let inner = Arc::clone(&self.inner);
         for class in 0..crate::size_class::NUM_CLASSES {
-            for addr in self.tcache.drain(class) {
+            let drained = self.tcache.drain(class);
+            if !drained.is_empty() {
+                self.pm.trace(EventKind::TcacheFlush.code(), class as u64, drained.len() as u64);
+            }
+            for addr in drained {
                 let slab_off = addr & !(SLAB_SIZE as u64 - 1);
                 let Some(owner) = inner.rtree.lookup(addr) else { continue };
                 let Owner::Slab { arena, .. } = Owner::unpack(owner) else { continue };

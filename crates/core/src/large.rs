@@ -57,9 +57,9 @@ pub const REGION_BYTES: usize = 4 << 20;
 /// Header area reserved at the start of each region in in-place mode.
 pub const REGION_HEADER_BYTES: usize = 16 << 10;
 /// Bytes per in-place header slot.
-const HDR_SLOT_BYTES: usize = 16;
+pub(crate) const HDR_SLOT_BYTES: usize = 16;
 /// Extent-slot area of a region header (the rest holds the chunk map).
-const HDR_SLOTS_BYTES: usize = 12 << 10;
+pub(crate) const HDR_SLOTS_BYTES: usize = 12 << 10;
 /// Offset of the per-64 KB chunk map within a region header.
 const CHUNK_MAP_OFF: usize = HDR_SLOTS_BYTES;
 /// Chunk-map granule: the paper-era baselines keep *page-granular*

@@ -52,6 +52,7 @@ mod arena;
 mod bitmap;
 mod booklog;
 mod config;
+pub mod doctor;
 mod front;
 mod geometry;
 mod interleave;
@@ -65,6 +66,7 @@ mod size_class;
 mod slab;
 mod tcache;
 pub mod telemetry;
+pub mod trace;
 mod wal;
 
 pub use config::{NvConfig, Variant};

@@ -35,6 +35,7 @@ use crate::slab::{
     NO_OLD_CLASS,
 };
 use crate::telemetry::{CoreMetrics, Counter, OpKind};
+use crate::trace::{EventKind, TraceRecorder};
 use crate::wal::{WalEntry, WalOp, WalRegion};
 
 pub(crate) fn recover(
@@ -48,7 +49,14 @@ pub(crate) fn recover(
     let layout = Layout::compute(&cfg, pool.size())?;
     let geoms = GeometryTable::new(cfg.stripes_for(cfg.interleave_bitmap));
     let mut t = pool.register_thread();
+    // The recorder is created before any repair work so the recovery
+    // thread's phase transitions land in the flight record too.
+    let tracer = cfg.trace.then(|| Arc::new(TraceRecorder::new(cfg.trace_events_per_thread)));
+    if let Some(rec) = &tracer {
+        t.set_tracer(rec.register());
+    }
     let mut report = RecoveryReport::default();
+    t.trace(EventKind::RecoveryPhase.code(), 0, cfg.arenas as u64);
 
     // Arena flags decide the recovery mode (§4.4).
     let arenas: Vec<Arc<Arena>> = (0..cfg.arenas)
@@ -95,6 +103,7 @@ pub(crate) fn recover(
         report.leaks_fixed += 1;
     }
     report.slabs = vslabs.len();
+    t.trace(EventKind::RecoveryPhase.code(), 1, report.slabs as u64);
 
     // Register slab ownership in the rtree (round-robin arena assignment;
     // the original assignment is not persisted and does not affect
@@ -120,6 +129,7 @@ pub(crate) fn recover(
                     &mut vslabs,
                     &mut report,
                 )?;
+                t.trace(EventKind::RecoveryPhase.code(), 2, report.wal_replayed as u64);
             }
             Variant::Gc => {
                 conservative_gc(
@@ -132,6 +142,7 @@ pub(crate) fn recover(
                     &mut vslabs,
                     &mut report,
                 )?;
+                t.trace(EventKind::RecoveryPhase.code(), 3, report.gc_live_blocks as u64);
             }
             Variant::Internal => {
                 // Internal collection: the persisted bitmaps and booklog
@@ -182,6 +193,7 @@ pub(crate) fn recover(
     metrics.add(Counter::WalReplays, report.wal_replayed as u64);
     metrics.add(Counter::MorphUndone, report.morphs_resolved as u64);
     metrics.record_hist(OpKind::Recovery, t.virtual_ns());
+    t.trace(EventKind::RecoveryPhase.code(), 4, report.leaks_fixed as u64);
 
     let slab_gates = crate::remote::SlabGates::new(pool.size());
     let alloc = NvAllocator(Arc::new(NvInner {
@@ -195,6 +207,7 @@ pub(crate) fn recover(
         live_bytes: AtomicUsize::new(live_bytes),
         wal_seq: AtomicU64::new(max_seq + 1),
         metrics,
+        tracer,
         slab_gates,
     }));
     Ok((alloc, report))

@@ -18,12 +18,14 @@
 //! regardless of how allocations from different shards interleaved
 //! before the crash (DESIGN.md §9).
 
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Mutex, MutexGuard};
 
-use nvalloc_pmem::{PmError, PmOffset, PmResult, PmThread, PmemPool};
+use nvalloc_pmem::{PmError, PmOffset, PmResult, PmThread, PmemPool, TracerHandle};
 
 use crate::booklog::BookLogStats;
 use crate::large::{
@@ -31,6 +33,8 @@ use crate::large::{
 };
 use crate::rtree::RTree;
 use crate::size_class::SLAB_SIZE;
+use crate::telemetry::{AtomicHistogram, LatencyHistogram};
+use crate::trace::EventKind;
 
 /// Upper bound on the shard count (the VehId tag field fits 256; 64 is
 /// already past any arena count we simulate).
@@ -53,6 +57,60 @@ pub(crate) struct ShardedLarge {
     acquires: Vec<AtomicU64>,
     /// Acquisitions that found the shard lock held and had to block.
     contended: Vec<AtomicU64>,
+    /// Wall-clock nanoseconds counted acquisitions spent waiting,
+    /// per shard.
+    wait_ns: Vec<AtomicU64>,
+    /// Wall-clock nanoseconds counted acquisitions held the shard lock,
+    /// per shard.
+    hold_ns: Vec<AtomicU64>,
+    /// Log₂ histogram of per-acquisition wait times (all shards).
+    wait_hist: AtomicHistogram,
+    /// Log₂ histogram of per-acquisition hold times (all shards).
+    hold_hist: AtomicHistogram,
+}
+
+/// A counted shard-lock guard. Dereferences to the shard's
+/// [`LargeAlloc`]; on drop it charges the measured wait/hold
+/// nanoseconds to the shard's counters and histograms and, when the
+/// locking thread had a flight-recorder handle attached, emits one
+/// `LockAcquire` event stamped at the acquisition's virtual-clock time.
+pub(crate) struct ShardGuard<'a> {
+    guard: MutexGuard<'a, LargeAlloc>,
+    owner: &'a ShardedLarge,
+    shard: usize,
+    wait_ns: u64,
+    /// Virtual-clock time of the acquisition (trace timestamp).
+    at_ns: u64,
+    tracer: Option<TracerHandle>,
+    held: Instant,
+}
+
+impl Deref for ShardGuard<'_> {
+    type Target = LargeAlloc;
+    fn deref(&self) -> &LargeAlloc {
+        &self.guard
+    }
+}
+
+impl DerefMut for ShardGuard<'_> {
+    fn deref_mut(&mut self) -> &mut LargeAlloc {
+        &mut self.guard
+    }
+}
+
+impl Drop for ShardGuard<'_> {
+    fn drop(&mut self) {
+        // Runs before the inner `MutexGuard` field drops, so the hold
+        // time is measured while the lock is still held.
+        let hold = self.held.elapsed().as_nanos() as u64;
+        self.owner.wait_ns[self.shard].fetch_add(self.wait_ns, Ordering::Relaxed);
+        self.owner.hold_ns[self.shard].fetch_add(hold, Ordering::Relaxed);
+        self.owner.wait_hist.record(self.wait_ns);
+        self.owner.hold_hist.record(hold);
+        if let Some(t) = &self.tracer {
+            t.emit(self.at_ns, EventKind::LockAcquire.code(), self.wait_ns, hold);
+        }
+    }
 }
 
 impl ShardedLarge {
@@ -66,7 +124,7 @@ impl ShardedLarge {
     /// disjoint heap spans (slab-aligned; the last shard takes the
     /// remainder), booklog slices (4 KB-aligned), region-table slices
     /// (8-byte aligned), a divided slow-GC threshold, and the shard tag.
-    fn shard_cfgs(base: &LargeConfig, n: usize) -> Vec<LargeConfig> {
+    pub(crate) fn shard_cfgs(base: &LargeConfig, n: usize) -> Vec<LargeConfig> {
         assert!((1..=MAX_SHARDS).contains(&n) && n.is_power_of_two(), "bad shard count {n}");
         if n == 1 {
             let mut c = base.clone();
@@ -102,9 +160,19 @@ impl ShardedLarge {
             .into_iter()
             .map(|c| Mutex::new(LargeAlloc::new(pool, c, Arc::clone(rtree))))
             .collect::<Vec<_>>();
-        let acquires = (0..n).map(|_| AtomicU64::new(0)).collect();
-        let contended = (0..n).map(|_| AtomicU64::new(0)).collect();
-        ShardedLarge { shards, acquires, contended }
+        Self::with_shards(shards, n)
+    }
+
+    fn with_shards(shards: Vec<Mutex<LargeAlloc>>, n: usize) -> Self {
+        ShardedLarge {
+            shards,
+            acquires: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            contended: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            wait_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            hold_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            wait_hist: AtomicHistogram::default(),
+            hold_hist: AtomicHistogram::default(),
+        }
     }
 
     /// Recover all shards from a (possibly crashed) pool image. Shards
@@ -123,9 +191,7 @@ impl ShardedLarge {
             shards.push(Mutex::new(la));
             extents.append(&mut ex);
         }
-        let acquires = (0..n).map(|_| AtomicU64::new(0)).collect();
-        let contended = (0..n).map(|_| AtomicU64::new(0)).collect();
-        (ShardedLarge { shards, acquires, contended }, extents)
+        (Self::with_shards(shards, n), extents)
     }
 
     /// Number of shards.
@@ -134,21 +200,54 @@ impl ShardedLarge {
         self.shards.len()
     }
 
-    /// Lock shard `i`, counting the acquisition and whether it contended.
-    pub fn lock(&self, i: usize) -> MutexGuard<'_, LargeAlloc> {
+    /// Lock shard `i`, counting the acquisition, whether it contended,
+    /// and (via the returned guard) the wall-clock wait/hold times.
+    pub fn lock(&self, i: usize) -> ShardGuard<'_> {
+        self.lock_impl(i, None, 0)
+    }
+
+    /// Like [`ShardedLarge::lock`], but the guard additionally emits a
+    /// `LockAcquire` flight-recorder event on release when `pm` has a
+    /// tracer attached. The `pm` borrow ends at return (the guard keeps
+    /// a cloned handle), so callers may use the thread mutably inside
+    /// the critical section.
+    pub fn lock_traced<'s>(&'s self, i: usize, pm: &PmThread) -> ShardGuard<'s> {
+        self.lock_impl(i, pm.tracer().cloned(), pm.virtual_ns())
+    }
+
+    fn lock_impl(&self, i: usize, tracer: Option<TracerHandle>, at_ns: u64) -> ShardGuard<'_> {
         self.acquires[i].fetch_add(1, Ordering::Relaxed);
-        if let Some(g) = self.shards[i].try_lock() {
-            return g;
+        let wait = Instant::now();
+        let guard = match self.shards[i].try_lock() {
+            Some(g) => g,
+            None => {
+                self.contended[i].fetch_add(1, Ordering::Relaxed);
+                self.shards[i].lock()
+            }
+        };
+        ShardGuard {
+            guard,
+            owner: self,
+            shard: i,
+            wait_ns: wait.elapsed().as_nanos() as u64,
+            at_ns,
+            tracer,
+            held: Instant::now(),
         }
-        self.contended[i].fetch_add(1, Ordering::Relaxed);
-        self.shards[i].lock()
     }
 
     /// Lock the shard owning `id`; `None` for an id whose shard index is
     /// out of range (corrupt or foreign handle).
-    pub fn lock_veh(&self, id: VehId) -> Option<MutexGuard<'_, LargeAlloc>> {
+    pub fn lock_veh(&self, id: VehId) -> Option<ShardGuard<'_>> {
         let idx = Self::shard_of(id);
         (idx < self.shards.len()).then(|| self.lock(idx))
+    }
+
+    /// [`ShardedLarge::lock_veh`] with the tracing behaviour of
+    /// [`ShardedLarge::lock_traced`].
+    pub fn lock_veh_traced<'s>(&'s self, id: VehId, pm: &PmThread) -> Option<ShardGuard<'s>> {
+        let idx = Self::shard_of(id);
+        (idx < self.shards.len()).then(|| self.lock_traced(idx, pm))
     }
 
     /// Allocation probe order: the hint shard (caller's arena id, wrapped
@@ -240,6 +339,20 @@ impl ShardedLarge {
             self.acquires.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
             self.contended.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
         )
+    }
+
+    /// Total wall-clock (wait, hold) nanoseconds across all counted
+    /// shard-lock acquisitions.
+    pub fn lock_times(&self) -> (u64, u64) {
+        (
+            self.wait_ns.iter().map(|a| a.load(Ordering::Relaxed)).sum(),
+            self.hold_ns.iter().map(|a| a.load(Ordering::Relaxed)).sum(),
+        )
+    }
+
+    /// Snapshots of the (wait, hold) per-acquisition time histograms.
+    pub fn lock_time_hists(&self) -> (LatencyHistogram, LatencyHistogram) {
+        (self.wait_hist.snapshot(), self.hold_hist.snapshot())
     }
 }
 
@@ -393,6 +506,42 @@ mod tests {
         });
         let (_, cont) = sl.lock_counts();
         assert_eq!(cont[0], 1, "blocking acquisition must count as contended");
+    }
+
+    #[test]
+    fn lock_times_accumulate_wait_and_hold() {
+        let (pool, sl, mut t) = setup(2);
+        assert_eq!(sl.lock_times(), (0, 0), "fresh shards have no lock time");
+        {
+            let mut g = sl.lock(0);
+            g.alloc(&pool, &mut t, 64 << 10, false).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let (wait, hold) = sl.lock_times();
+        assert!(hold >= 1_000_000, "guard held ≥2 ms must register ({hold} ns)");
+        // Uncontended wait is tiny but the probe still ran: both
+        // histograms carry exactly the one acquisition.
+        let (wh, hh) = sl.lock_time_hists();
+        assert_eq!(wh.count(), 1);
+        assert_eq!(hh.count(), 1);
+        // A blocked acquisition accumulates real wait time.
+        let sl = Arc::new(sl);
+        let held = Arc::new(std::sync::Barrier::new(2));
+        std::thread::scope(|s| {
+            let sl2 = Arc::clone(&sl);
+            let held2 = Arc::clone(&held);
+            s.spawn(move || {
+                let _g = sl2.lock(0);
+                held2.wait();
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            });
+            held.wait();
+            let _g = sl.lock(0);
+        });
+        let (wait2, _) = sl.lock_times();
+        assert!(wait2 > wait + 1_000_000, "blocked lock must add ≥ the holder's sleep to wait");
+        let (wh, _) = sl.lock_time_hists();
+        assert_eq!(wh.count(), 3, "three counted acquisitions in total");
     }
 
     #[test]

@@ -335,9 +335,13 @@ impl SlabHeader {
     }
 }
 
-/// Persist the flag field (atomic word-0 rewrite + flush + fence).
+/// Persist the flag field (atomic word-0 rewrite + flush + fence). Every
+/// morph step transition — forward during the transform, backward during
+/// recovery rollback — funnels through here, so this is also where the
+/// flight recorder's `MorphStep` events are emitted.
 pub fn persist_flag(pool: &PmemPool, t: &mut PmThread, slab: PmOffset, class: u16, flag: u16) {
     pool.persist_u64(t, slab, header_word0(class, flag), FlushKind::Meta);
+    t.trace(crate::trace::EventKind::MorphStep.code(), flag as u64, slab);
 }
 
 /// Read one persistent index-table entry.

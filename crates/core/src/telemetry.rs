@@ -265,10 +265,49 @@ pub enum Counter {
     ReservoirHits,
     /// Slab carves that had to take a large-shard lock.
     ReservoirMisses,
+    /// Wall-clock nanoseconds spent waiting to acquire instrumented
+    /// mutexes (arena free/refill locks; large-shard waits are merged in
+    /// by the front end at snapshot time).
+    LockWaitNs,
+    /// Wall-clock nanoseconds instrumented mutexes were held.
+    LockHoldNs,
 }
 
-const NUM_COUNTERS: usize = 17;
+const NUM_COUNTERS: usize = 19;
 const TCACHE_EVENTS: usize = 4;
+
+/// A lock-free log2-bucketed histogram: the shared-atomic counterpart of
+/// [`LatencyHistogram`], for samples recorded from arbitrary threads
+/// without a mutex (lock wait/hold probes record from inside and around
+/// critical sections, where taking the histogram mutex would itself
+/// serialise).
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram { buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS] }
+    }
+}
+
+impl AtomicHistogram {
+    /// Record one sample of `ns` nanoseconds (relaxed; never blocks).
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-histogram copy of the current bucket counts.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::default();
+        for (o, b) in out.buckets.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
 
 /// The allocator's internal metrics registry.
 ///
@@ -283,6 +322,8 @@ pub struct CoreMetrics {
     tcache: Vec<[AtomicU64; TCACHE_EVENTS]>,
     counters: [AtomicU64; NUM_COUNTERS],
     hists: Mutex<OpHistograms>,
+    lock_wait: AtomicHistogram,
+    lock_hold: AtomicHistogram,
 }
 
 impl CoreMetrics {
@@ -294,6 +335,8 @@ impl CoreMetrics {
             tcache: (0..NUM_CLASSES).map(|_| Default::default()).collect(),
             counters: Default::default(),
             hists: Mutex::new(OpHistograms::default()),
+            lock_wait: AtomicHistogram::default(),
+            lock_hold: AtomicHistogram::default(),
         }
     }
 
@@ -340,6 +383,21 @@ impl CoreMetrics {
         }
     }
 
+    /// Record one instrumented mutex acquisition: `wait_ns` spent blocked
+    /// before the lock was granted, `hold_ns` inside the critical section
+    /// (both wall-clock). Lock-free: totals are relaxed atomic adds and
+    /// the histograms are [`AtomicHistogram`]s, so recording from a
+    /// guard's `Drop` never takes another lock.
+    #[inline]
+    pub fn record_lock(&self, wait_ns: u64, hold_ns: u64) {
+        if self.enabled {
+            self.counters[Counter::LockWaitNs as usize].fetch_add(wait_ns, Ordering::Relaxed);
+            self.counters[Counter::LockHoldNs as usize].fetch_add(hold_ns, Ordering::Relaxed);
+            self.lock_wait.record(wait_ns);
+            self.lock_hold.record(hold_ns);
+        }
+    }
+
     /// A point-in-time copy of every counter owned by the registry.
     /// Bookkeeping-log and extent-allocator fields are zero here; the
     /// allocator front end merges them in (they live under its large-
@@ -378,6 +436,10 @@ impl CoreMetrics {
         s.remote_drain_foreign = c(Counter::RemoteDrainForeign);
         s.reservoir_hits = c(Counter::ReservoirHits);
         s.reservoir_misses = c(Counter::ReservoirMisses);
+        s.lock_wait_ns = c(Counter::LockWaitNs);
+        s.lock_hold_ns = c(Counter::LockHoldNs);
+        s.lock_wait_hist = self.lock_wait.snapshot();
+        s.lock_hold_hist = self.lock_hold.snapshot();
         s.hists = *self.hists.lock();
         s
     }
@@ -479,6 +541,22 @@ pub struct MetricsSnapshot {
     pub reservoir_hits: u64,
     /// Slab carves that had to take the large-allocator lock.
     pub reservoir_misses: u64,
+    /// Wall-clock nanoseconds spent waiting to acquire instrumented
+    /// mutexes (arena free/refill locks and large-shard locks for
+    /// NVAlloc; the global heap/large/WAL mutexes for the baselines).
+    /// Wall-clock, not modelled: contention is a host-scheduling effect
+    /// the virtual clocks deliberately do not see.
+    pub lock_wait_ns: u64,
+    /// Wall-clock nanoseconds instrumented mutexes were held.
+    pub lock_hold_ns: u64,
+    /// Histogram of per-acquisition lock wait times (wall-clock ns).
+    pub lock_wait_hist: LatencyHistogram,
+    /// Histogram of per-acquisition lock hold times (wall-clock ns).
+    pub lock_hold_hist: LatencyHistogram,
+    /// Flight-recorder events captured (still resident in the rings).
+    pub trace_events: u64,
+    /// Flight-recorder events overwritten by drop-oldest wraparound.
+    pub trace_dropped: u64,
     /// Bookkeeping-log entries appended (includes slow-GC copies).
     pub booklog_appends: u64,
     /// Bookkeeping-log tombstones appended.
@@ -561,6 +639,12 @@ impl MetricsSnapshot {
             ),
             reservoir_hits: self.reservoir_hits.saturating_sub(earlier.reservoir_hits),
             reservoir_misses: self.reservoir_misses.saturating_sub(earlier.reservoir_misses),
+            lock_wait_ns: self.lock_wait_ns.saturating_sub(earlier.lock_wait_ns),
+            lock_hold_ns: self.lock_hold_ns.saturating_sub(earlier.lock_hold_ns),
+            lock_wait_hist: self.lock_wait_hist.since(&earlier.lock_wait_hist),
+            lock_hold_hist: self.lock_hold_hist.since(&earlier.lock_hold_hist),
+            trace_events: self.trace_events.saturating_sub(earlier.trace_events),
+            trace_dropped: self.trace_dropped.saturating_sub(earlier.trace_dropped),
             booklog_appends: self.booklog_appends.saturating_sub(earlier.booklog_appends),
             booklog_tombstones: self.booklog_tombstones.saturating_sub(earlier.booklog_tombstones),
             booklog_fast_gc_runs: self
@@ -639,6 +723,10 @@ impl MetricsSnapshot {
         o.field_raw("large_shard_contended", &json::u64_array(&self.large_shard_contended));
         o.field_u64("reservoir_hits", self.reservoir_hits);
         o.field_u64("reservoir_misses", self.reservoir_misses);
+        o.field_u64("lock_wait_ns", self.lock_wait_ns);
+        o.field_u64("lock_hold_ns", self.lock_hold_ns);
+        o.field_u64("trace_events", self.trace_events);
+        o.field_u64("trace_dropped", self.trace_dropped);
         o.field_u64("booklog_appends", self.booklog_appends);
         o.field_u64("booklog_tombstones", self.booklog_tombstones);
         o.field_u64("booklog_fast_gc_runs", self.booklog_fast_gc_runs);
@@ -654,6 +742,8 @@ impl MetricsSnapshot {
         for kind in OpKind::ALL {
             h.field_raw(kind.label(), &json::u64_array(&self.hists.of(kind).buckets));
         }
+        h.field_raw("lock_wait", &json::u64_array(&self.lock_wait_hist.buckets));
+        h.field_raw("lock_hold", &json::u64_array(&self.lock_hold_hist.buckets));
         o.field_raw("hist", &h.finish());
         o.finish()
     }

@@ -51,6 +51,7 @@ mod model;
 mod pool;
 mod stats;
 mod thread;
+mod trace;
 
 pub use error::{PmError, PmResult};
 pub use layout::{CACHE_LINE, XPLINE};
@@ -58,6 +59,7 @@ pub use model::{LatencyModel, ModelParams};
 pub use pool::{CrashImage, PmOffset, PmemConfig, PmemPool};
 pub use stats::{FlushKind, FlushRecord, PmemStats, StatsSnapshot};
 pub use thread::{ClockSpan, PmThread};
+pub use trace::{TraceEvent, TraceRing, TracerHandle};
 
 /// How flush/write latencies are applied to the caller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -1,5 +1,7 @@
 //! Per-thread handles onto the PM substrate.
 
+use crate::trace::TracerHandle;
+
 /// Per-thread PM state: the virtual clock and the last flushed address used
 /// for sequential/random classification.
 ///
@@ -7,6 +9,10 @@
 /// pass it (mutably) to every flush/fence call. Keeping this explicit instead
 /// of thread-local makes benchmarks deterministic and lets a harness collect
 /// all virtual clocks at the end of a run.
+///
+/// A [`TracerHandle`] may be attached with [`PmThread::set_tracer`]; every
+/// module that already receives a `PmThread` can then emit flight-recorder
+/// events via [`PmThread::trace`] with no extra plumbing.
 #[derive(Debug)]
 pub struct PmThread {
     id: usize,
@@ -15,11 +21,12 @@ pub struct PmThread {
     /// Modelled nanoseconds not yet slept off in `LatencyMode::Sleep`
     /// (sleeps are batched into quanta; see `LatencyModel::charge`).
     sleep_debt: u64,
+    tracer: Option<TracerHandle>,
 }
 
 impl PmThread {
     pub(crate) fn new(id: usize) -> Self {
-        PmThread { id, virtual_ns: 0, last_flush_addr: None, sleep_debt: 0 }
+        PmThread { id, virtual_ns: 0, last_flush_addr: None, sleep_debt: 0, tracer: None }
     }
 
     /// Identifier assigned at registration (dense, starting at 0).
@@ -41,6 +48,34 @@ impl PmThread {
     /// measurements). Reading the clock does not advance it.
     pub fn span(&self) -> ClockSpan {
         ClockSpan { start_ns: self.virtual_ns }
+    }
+
+    /// Attach a flight-recorder emitter; subsequent [`PmThread::trace`]
+    /// calls push into its ring.
+    pub fn set_tracer(&mut self, tracer: TracerHandle) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any (cloneable; lets a lock guard keep
+    /// emitting after the `PmThread` borrow ends).
+    pub fn tracer(&self) -> Option<&TracerHandle> {
+        self.tracer.as_ref()
+    }
+
+    /// True when a tracer is attached (guards payload computation at
+    /// call sites that would otherwise do work to build `a`/`b`).
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Emit one flight-recorder event stamped with this thread's current
+    /// virtual-clock time. No-op (one branch) when no tracer is attached.
+    #[inline]
+    pub fn trace(&self, code: u16, a: u64, b: u64) {
+        if let Some(t) = &self.tracer {
+            t.emit(self.virtual_ns, code, a, b);
+        }
     }
 
     #[inline]

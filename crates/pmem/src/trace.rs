@@ -1,0 +1,212 @@
+//! Flight-recorder transport: per-thread, lock-free event rings.
+//!
+//! This module is the *transport* half of the allocator's flight
+//! recorder: fixed-size binary events, one single-producer ring per
+//! registered thread, drop-oldest on wrap. The semantic half (event
+//! kinds, merging, Chrome trace export) lives in the allocator crate;
+//! keeping the transport here lets [`crate::PmThread`] carry a tracer
+//! handle so every module that already receives a `PmThread` can emit
+//! events with zero extra plumbing.
+//!
+//! Events are stamped with a *global* sequence number (one shared
+//! counter across all rings, so a merged stream has a total order) and
+//! the emitting thread's virtual-clock nanoseconds (so event times line
+//! up with the modelled latencies every benchmark reports).
+//!
+//! Concurrency contract: each ring has exactly one producer (the owning
+//! thread). Readers may snapshot at any time without stopping the
+//! producer; a snapshot taken during concurrent pushes can miss or tear
+//! events that are being overwritten at that instant, so authoritative
+//! merges should be taken at quiescence (after worker threads have
+//! finished), which is when benchmarks export traces.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of `u64` words per ring slot.
+const SLOT_WORDS: usize = 5;
+
+/// One decoded flight-recorder event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (total order across all threads).
+    pub seq: u64,
+    /// Emitting thread's virtual-clock nanoseconds at emission.
+    pub ns: u64,
+    /// Event kind code (interpreted by the allocator's trace module).
+    pub code: u16,
+    /// Tracer-local thread index (dense, assigned at registration).
+    pub tid: u16,
+    /// First event payload word (kind-specific).
+    pub a: u64,
+    /// Second event payload word (kind-specific).
+    pub b: u64,
+}
+
+/// A fixed-capacity single-producer event ring with drop-oldest
+/// semantics: once `capacity` events are resident, each push overwrites
+/// the oldest event. `written() - len()` events have been dropped.
+#[derive(Debug)]
+pub struct TraceRing {
+    slots: Box<[[AtomicU64; SLOT_WORDS]]>,
+    head: AtomicU64,
+}
+
+impl TraceRing {
+    /// Create a ring holding up to `capacity` events (min 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        let cap = capacity.max(1);
+        let mut v = Vec::with_capacity(cap);
+        v.resize_with(cap, Default::default);
+        TraceRing { slots: v.into_boxed_slice(), head: AtomicU64::new(0) }
+    }
+
+    /// Maximum number of resident events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever pushed (monotone; not capped by capacity).
+    pub fn written(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events currently resident (`min(written, capacity)`).
+    pub fn len(&self) -> u64 {
+        self.written().min(self.slots.len() as u64)
+    }
+
+    /// True when no event was ever pushed.
+    pub fn is_empty(&self) -> bool {
+        self.written() == 0
+    }
+
+    /// Events lost to drop-oldest wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.written().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Append `ev`, overwriting the oldest event when full.
+    pub fn push(&self, ev: TraceEvent) {
+        let idx = self.head.load(Ordering::Relaxed) as usize % self.slots.len();
+        let slot = &self.slots[idx];
+        // seq is stored +1 so a never-written slot (all zero) is
+        // distinguishable from an event with seq 0.
+        slot[1].store(ev.ns, Ordering::Relaxed);
+        slot[2].store(ev.code as u64 | (ev.tid as u64) << 16, Ordering::Relaxed);
+        slot[3].store(ev.a, Ordering::Relaxed);
+        slot[4].store(ev.b, Ordering::Relaxed);
+        slot[0].store(ev.seq + 1, Ordering::Release);
+        self.head.fetch_add(1, Ordering::Release);
+    }
+
+    /// Copy the resident events out, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let head = self.written();
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for i in start..head {
+            let slot = &self.slots[(i % cap) as usize];
+            let tag = slot[0].load(Ordering::Acquire);
+            if tag == 0 {
+                continue;
+            }
+            let meta = slot[2].load(Ordering::Relaxed);
+            out.push(TraceEvent {
+                seq: tag - 1,
+                ns: slot[1].load(Ordering::Relaxed),
+                code: meta as u16,
+                tid: (meta >> 16) as u16,
+                a: slot[3].load(Ordering::Relaxed),
+                b: slot[4].load(Ordering::Relaxed),
+            });
+        }
+        out
+    }
+}
+
+/// A cloneable per-thread emitter: the owning ring plus the recorder's
+/// shared sequence counter and this thread's dense tracer index.
+/// Installed on a [`crate::PmThread`] via
+/// [`crate::PmThread::set_tracer`].
+#[derive(Debug, Clone)]
+pub struct TracerHandle {
+    ring: Arc<TraceRing>,
+    seq: Arc<AtomicU64>,
+    tid: u16,
+}
+
+impl TracerHandle {
+    /// Build a handle emitting into `ring` as tracer-thread `tid`,
+    /// stamping events from the shared counter `seq`.
+    pub fn new(ring: Arc<TraceRing>, seq: Arc<AtomicU64>, tid: u16) -> TracerHandle {
+        TracerHandle { ring, seq, tid }
+    }
+
+    /// The ring this handle emits into.
+    pub fn ring(&self) -> &Arc<TraceRing> {
+        &self.ring
+    }
+
+    /// Emit one event at virtual time `ns`.
+    #[inline]
+    pub fn emit(&self, ns: u64, code: u16, a: u64, b: u64) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.ring.push(TraceEvent { seq, ns, code, tid: self.tid, a, b });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent { seq, ns: seq * 10, code: 7, tid: 3, a: seq, b: !seq }
+    }
+
+    #[test]
+    fn roundtrip_under_capacity() {
+        let r = TraceRing::new(8);
+        for s in 0..5 {
+            r.push(ev(s));
+        }
+        assert_eq!(r.written(), 5);
+        assert_eq!(r.dropped(), 0);
+        let got = r.snapshot();
+        assert_eq!(got.len(), 5);
+        for (s, e) in got.iter().enumerate() {
+            assert_eq!(*e, ev(s as u64));
+        }
+    }
+
+    #[test]
+    fn wraparound_drops_oldest() {
+        let r = TraceRing::new(4);
+        for s in 0..11 {
+            r.push(ev(s));
+        }
+        assert_eq!(r.written(), 11);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 7);
+        let got = r.snapshot();
+        assert_eq!(got.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn handle_stamps_shared_sequence() {
+        let seq = Arc::new(AtomicU64::new(0));
+        let h1 = TracerHandle::new(Arc::new(TraceRing::new(8)), Arc::clone(&seq), 0);
+        let h2 = TracerHandle::new(Arc::new(TraceRing::new(8)), Arc::clone(&seq), 1);
+        h1.emit(5, 1, 0, 0);
+        h2.emit(6, 2, 0, 0);
+        h1.emit(7, 3, 0, 0);
+        let mut all: Vec<_> = h1.ring().snapshot();
+        all.extend(h2.ring().snapshot());
+        all.sort_by_key(|e| e.seq);
+        assert_eq!(
+            all.iter().map(|e| (e.seq, e.code, e.tid)).collect::<Vec<_>>(),
+            vec![(0, 1, 0), (1, 2, 1), (2, 3, 0)]
+        );
+    }
+}

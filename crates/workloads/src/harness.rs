@@ -79,6 +79,14 @@ impl BenchMeasurement {
         self.ops as f64 / self.wall_ns as f64 * 1e3
     }
 
+    /// Wall-clock nanoseconds spent waiting on instrumented allocator
+    /// mutexes (arena, heap, WAL-lane, and large-allocator locks), per
+    /// completed operation. The scalability gate in CI holds this down
+    /// for the sharded NVAlloc series.
+    pub fn lock_wait_ns_per_op(&self) -> f64 {
+        self.metrics.lock_wait_ns as f64 / self.ops.max(1) as f64
+    }
+
     /// Serialise the measurement as one self-contained JSON object
     /// (single line, no trailing newline) for `--json` bench output.
     ///
@@ -94,6 +102,7 @@ impl BenchMeasurement {
         o.field_f64("mops", self.mops());
         o.field_u64("wall_ns", self.wall_ns);
         o.field_f64("wall_mops", self.wall_mops());
+        o.field_f64("lock_wait_ns_per_op", self.lock_wait_ns_per_op());
         let mut st = json::JsonObj::new();
         st.field_u64("flushes", self.stats.flushes);
         st.field_u64("reflushes", self.stats.reflushes);

@@ -100,6 +100,30 @@ pub mod allocators {
             }
         }
 
+        /// Like [`Which::create_with_roots`], with the NVAlloc flight
+        /// recorder switched on when `trace` is set and its per-thread
+        /// ring sized to `trace_events`. The baselines have no flight
+        /// recorder; they ignore both.
+        pub fn create_traced(
+            self,
+            pool: Arc<PmemPool>,
+            roots: usize,
+            trace: bool,
+            trace_events: usize,
+        ) -> Arc<dyn PmAllocator> {
+            let cfg =
+                |c: NvConfig| c.roots(roots).trace(trace).trace_events_per_thread(trace_events);
+            match self {
+                Which::NvallocLog => {
+                    Arc::new(NvAllocator::create(pool, cfg(NvConfig::log())).expect("create"))
+                }
+                Which::NvallocGc => {
+                    Arc::new(NvAllocator::create(pool, cfg(NvConfig::gc())).expect("create"))
+                }
+                _ => self.create_with_roots(pool, roots),
+            }
+        }
+
         /// Display name matching the paper's figures.
         pub fn name(self) -> &'static str {
             match self {

@@ -45,10 +45,18 @@ fn run_until_crash(ops: usize, seed: u64) -> (Arc<PmemPool>, HashMap<usize, (u64
     (pool, live)
 }
 
+/// Run the offline doctor over a freshly recovered image: recovery must
+/// leave every persistent structure in a state the auditor calls clean.
+fn audit_clean(img: &PmemPool, cfg: &NvConfig) {
+    let rep = nvalloc::doctor::audit_pool(img, cfg);
+    assert!(rep.clean(), "doctor violations after recovery: {:?}", rep.violations);
+}
+
 fn verify_recovery(pool: Arc<PmemPool>, live: &HashMap<usize, (u64, usize)>) {
     let img = PmemPool::from_crash_image(pool.crash());
     let (alloc, report) = NvAllocator::recover(Arc::clone(&img), NvConfig::log()).expect("recover");
     assert!(!report.normal_shutdown);
+    audit_clean(&img, &NvConfig::log());
     let mut t = alloc.thread();
     // Every committed allocation survives with its payload.
     for (&slot, &(addr, _)) in live {
@@ -311,9 +319,10 @@ fn verify_sharded_recovery(
     live: &HashMap<usize, (u64, usize)>,
 ) {
     let img = PmemPool::from_crash_image(pool.crash());
-    let (alloc, report) = NvAllocator::recover(Arc::clone(&img), cfg).expect("recover");
+    let (alloc, report) = NvAllocator::recover(Arc::clone(&img), cfg.clone()).expect("recover");
     assert!(!report.normal_shutdown);
     assert!(alloc.large_shards() >= 4);
+    audit_clean(&img, &cfg);
     for (&slot, &(addr, _)) in live {
         assert_eq!(img.read_u64(alloc.root_offset(slot)), addr, "root {slot}");
         assert_eq!(img.read_u64(addr), slot as u64 | 0xD0D0 << 32, "payload {slot}");

@@ -106,6 +106,37 @@ fn snapshot_since_isolates_a_phase() {
 }
 
 #[test]
+fn lock_spans_diff_without_double_counting() {
+    // Regression: two lock spans recorded around a snapshot must split
+    // cleanly — the diff carries only the second span, in both the
+    // totals and the wait/hold histograms, and re-merging the halves
+    // reproduces the full picture exactly once.
+    let m = CoreMetrics::new(true);
+    m.record_lock(1_000, 5_000);
+    let before = m.snapshot();
+    m.record_lock(30_000, 70_000);
+    let after = m.snapshot();
+    let d = after.since(&before);
+    assert_eq!(d.lock_wait_ns, 30_000);
+    assert_eq!(d.lock_hold_ns, 70_000);
+    assert_eq!(d.lock_wait_hist.count(), 1, "diff holds exactly the second span");
+    assert_eq!(d.lock_hold_hist.count(), 1);
+    assert_eq!(d.lock_wait_hist.buckets[bucket_index(30_000)], 1);
+    assert_eq!(d.lock_hold_hist.buckets[bucket_index(70_000)], 1);
+    // First half + diff = whole; no sample lost, none counted twice.
+    let mut rebuilt = before.lock_wait_hist;
+    rebuilt.merge(&d.lock_wait_hist);
+    assert_eq!(rebuilt.buckets, after.lock_wait_hist.buckets);
+    let mut rebuilt = before.lock_hold_hist;
+    rebuilt.merge(&d.lock_hold_hist);
+    assert_eq!(rebuilt.buckets, after.lock_hold_hist.buckets);
+    // Reversed diff saturates rather than underflowing.
+    let z = before.since(&after);
+    assert_eq!(z.lock_wait_ns, 0);
+    assert_eq!(z.lock_wait_hist.count(), 0);
+}
+
+#[test]
 fn measurement_json_is_parseable_shape() {
     let a = Which::NvallocLog.create(pool());
     let p = threadtest::Params { threads: 1, iterations: 2, objects: 50, size: 64 };

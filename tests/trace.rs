@@ -1,0 +1,177 @@
+//! Flight-recorder integration tests: ring wraparound and drop-oldest
+//! accounting, total ordering of the merged multi-producer stream, the
+//! `trace_dropped` metric, and the core invariant that tracing is purely
+//! observational — switching it off changes no modelled measurement.
+
+use std::sync::Arc;
+
+use nvalloc::trace::{EventKind, TraceRecorder};
+use nvalloc::NvConfig;
+use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+use nvalloc_workloads::allocators::create_custom;
+use nvalloc_workloads::threadtest;
+use proptest::prelude::*;
+
+fn pool() -> Arc<PmemPool> {
+    PmemPool::new(PmemConfig::default().pool_size(128 << 20).latency_mode(LatencyMode::Virtual))
+}
+
+#[test]
+fn ring_wraparound_drops_oldest_and_counts() {
+    let rec = TraceRecorder::new(8);
+    let h = rec.register();
+    for i in 0..20u64 {
+        h.emit(i * 10, EventKind::MallocBegin.code(), i, 0);
+    }
+    assert_eq!(rec.events(), 8, "ring holds exactly its capacity");
+    assert_eq!(rec.dropped(), 12, "every overwritten event is counted");
+    // The survivors are precisely the 8 newest, still in order.
+    let m = rec.merged();
+    let seqs: Vec<u64> = m.iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, (12..20).collect::<Vec<u64>>());
+    assert_eq!(m[0].a, 12, "payloads travel with their events");
+}
+
+#[test]
+fn capacity_floor_is_one_event() {
+    // `TraceRecorder::new(0)` must not divide by zero or allocate an
+    // un-pushable ring; the configured floor is one slot.
+    let rec = TraceRecorder::new(0);
+    let h = rec.register();
+    h.emit(1, EventKind::FreeBegin.code(), 7, 0);
+    h.emit(2, EventKind::FreeEnd.code(), 7, 0);
+    assert_eq!(rec.events(), 1);
+    assert_eq!(rec.dropped(), 1);
+    assert_eq!(rec.merged()[0].code, EventKind::FreeEnd.code());
+}
+
+#[test]
+fn eight_producers_merge_totally_ordered() {
+    const PRODUCERS: usize = 8;
+    const PER_THREAD: u64 = 500;
+    let rec = TraceRecorder::new(1024);
+    let handles: Vec<_> = (0..PRODUCERS).map(|_| rec.register()).collect();
+    std::thread::scope(|s| {
+        for h in &handles {
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let kind = EventKind::ALL[i as usize % EventKind::ALL.len()];
+                    h.emit(i, kind.code(), i, i * 2);
+                }
+            });
+        }
+    });
+    let m = rec.merged();
+    assert_eq!(m.len(), PRODUCERS * PER_THREAD as usize, "no drops at this capacity");
+    assert_eq!(rec.dropped(), 0);
+    // Total order: strictly increasing seq with no gaps — the merged
+    // stream is a permutation of every emitted event.
+    for (i, e) in m.iter().enumerate() {
+        assert_eq!(e.seq, i as u64, "merged stream must be gapless and sorted");
+    }
+    // Each producer contributed exactly its share, under its own tid.
+    let mut by_tid = [0u64; PRODUCERS];
+    for e in &m {
+        by_tid[e.tid as usize] += 1;
+    }
+    assert_eq!(by_tid, [PER_THREAD; PRODUCERS]);
+    // And within one tid, seq order matches program order (i payload).
+    for tid in 0..PRODUCERS as u16 {
+        let mine: Vec<u64> = m.iter().filter(|e| e.tid == tid).map(|e| e.a).collect();
+        assert_eq!(mine, (0..PER_THREAD).collect::<Vec<u64>>());
+    }
+}
+
+proptest! {
+    #[test]
+    fn merged_stream_is_totally_ordered_for_any_interleaving(
+        // Arbitrary emit schedule over 8 rings: which ring emits next,
+        // with which event kind — covering uneven ring loads, idle
+        // rings, and per-ring wraparound (capacity 32 < max ops).
+        schedule in proptest::collection::vec((0usize..8, 0u16..16), 1..256),
+    ) {
+        let rec = TraceRecorder::new(32);
+        let handles: Vec<_> = (0..8).map(|_| rec.register()).collect();
+        for (i, &(ring, k)) in schedule.iter().enumerate() {
+            handles[ring].emit(i as u64, EventKind::ALL[k as usize].code(), i as u64, 0);
+        }
+        let m = rec.merged();
+        prop_assert_eq!(m.len() as u64 + rec.dropped(), schedule.len() as u64,
+            "every emitted event is either resident or counted dropped");
+        // Total order by the shared sequence counter, which here equals
+        // program order — so seqs are strictly increasing and each ring's
+        // survivors are a suffix of its own emissions.
+        prop_assert!(m.windows(2).all(|w| w[0].seq < w[1].seq));
+        for (tid, _h) in handles.iter().enumerate() {
+            let mine: Vec<u64> = m.iter().filter(|e| e.tid == tid as u16).map(|e| e.seq).collect();
+            let all: Vec<u64> = schedule.iter().enumerate()
+                .filter(|(_, &(r, _))| r == tid)
+                .map(|(i, _)| i as u64)
+                .collect();
+            let keep = all.len().min(32);
+            prop_assert_eq!(&mine[..], &all[all.len() - keep..], "drop-oldest keeps the newest");
+        }
+    }
+}
+
+#[test]
+fn trace_dropped_metric_reflects_ring_overflow() {
+    // A deliberately tiny ring: the workload emits far more than 64
+    // events, so drop-oldest must engage and be visible in the metrics.
+    let a = create_custom(pool(), NvConfig::log().trace(true).trace_events_per_thread(64), 1 << 19);
+    let p = threadtest::Params { threads: 1, iterations: 4, objects: 100, size: 64 };
+    let m = threadtest::run(&a, p);
+    assert!(m.metrics.trace_events > 0, "resident events must be reported");
+    assert!(m.metrics.trace_events >= 64, "at least one ring is full");
+    assert!(m.metrics.trace_dropped > 0, "overflow must surface as trace_dropped");
+    // A comfortably sized ring on the same workload drops nothing.
+    let b = create_custom(
+        pool(),
+        NvConfig::log().trace(true).trace_events_per_thread(1 << 16),
+        1 << 19,
+    );
+    let mb = threadtest::run(&b, p);
+    assert_eq!(mb.metrics.trace_dropped, 0, "no overflow at 64Ki events/thread");
+    assert!(mb.metrics.trace_events > m.metrics.trace_events);
+}
+
+#[test]
+fn traced_run_exports_parseable_chrome_json() {
+    let a = create_custom(pool(), NvConfig::log().trace(true), 1 << 19);
+    let p = threadtest::Params { threads: 2, iterations: 2, objects: 50, size: 64 };
+    threadtest::run(&a, p);
+    let j = a.trace_json().expect("tracing on ⇒ a document");
+    assert!(j.starts_with("{\"traceEvents\":["));
+    assert!(j.ends_with('}'));
+    assert!(j.contains("\"name\":\"malloc\""));
+    assert!(j.contains("\"ph\":\"B\"") && j.contains("\"ph\":\"E\""));
+    assert!(j.contains("\"displayTimeUnit\":\"ns\""));
+    // Two workload threads → at least two distinct Chrome tids.
+    assert!(j.contains("\"tid\":0") && j.contains("\"tid\":1"));
+}
+
+#[test]
+fn trace_off_yields_no_events_and_identical_measurements() {
+    // Single-threaded: multi-thread runs are interleaving-dependent,
+    // which would mask whether a difference came from tracing.
+    let run = |trace: bool| {
+        let a = create_custom(pool(), NvConfig::log().trace(trace), 1 << 19);
+        let p = threadtest::Params { threads: 1, iterations: 6, objects: 150, size: 64 };
+        let m = threadtest::run(&a, p);
+        (m, a)
+    };
+    let (on, a_on) = run(true);
+    let (off, a_off) = run(false);
+    // Tracing is observational: the modelled measurement is unchanged
+    // (the recorder stamps the virtual clock but never advances it).
+    assert_eq!(on.ops, off.ops);
+    assert_eq!(on.elapsed_ns, off.elapsed_ns);
+    assert_eq!(on.stats, off.stats);
+    assert_eq!(on.peak_mapped, off.peak_mapped);
+    // And disabling it really does silence the recorder.
+    assert!(on.metrics.trace_events > 0);
+    assert!(a_on.trace_json().is_some());
+    assert_eq!(off.metrics.trace_events, 0);
+    assert_eq!(off.metrics.trace_dropped, 0);
+    assert!(a_off.trace_json().is_none());
+}
