@@ -8,7 +8,7 @@ use nvalloc::NvConfig;
 use nvalloc_workloads::allocators::Which;
 use nvalloc_workloads::{dbmstest, larson, BenchMeasurement, Reporter};
 
-use crate::experiments::{mops_cell, pool_eadr_mb, pool_mb};
+use crate::experiments::{mops_cell, pool_eadr_mb_san, pool_mb_san};
 use crate::Scale;
 
 fn run_bench(
@@ -32,13 +32,13 @@ fn run_bench(
     }
 }
 
-fn pool_for(threads: usize, eadr: bool) -> Arc<nvalloc_pmem::PmemPool> {
+fn pool_for(threads: usize, eadr: bool, pmsan: bool) -> Arc<nvalloc_pmem::PmemPool> {
     // Large-object churn: size the pool by thread count.
     let mb = (512 + threads * 48).min(4096);
     if eadr {
-        pool_eadr_mb(mb)
+        pool_eadr_mb_san(mb, pmsan)
     } else {
-        pool_mb(mb)
+        pool_mb_san(mb, pmsan)
     }
 }
 
@@ -53,7 +53,7 @@ fn sweep(title: &str, slug: &str, scale: &Scale, eadr: bool) {
             let mut row = vec![t.to_string()];
             for w in Which::LARGE {
                 let alloc = w.create_traced(
-                    pool_for(t, eadr),
+                    pool_for(t, eadr, scale.pmsan && w.is_nvalloc()),
                     1 << 19,
                     scale.tracing(),
                     scale.trace_events(),
@@ -90,7 +90,7 @@ pub fn run_fig17(scale: &Scale) {
         let measure = |gc: bool| {
             let cfg = NvConfig::log().booklog_gc(gc).usage_pmem(0.00001).roots(1 << 19);
             let nv = std::sync::Arc::new(
-                nvalloc::NvAllocator::create(pool_for(8, false), cfg).expect("create"),
+                nvalloc::NvAllocator::create(pool_for(8, false, scale.pmsan), cfg).expect("create"),
             );
             let dyn_a: Arc<dyn PmAllocator> = nv.clone();
             let m = run_bench(&dyn_a, bench, 8, scale);

@@ -6,7 +6,7 @@
 use nvalloc_workloads::allocators::Which;
 use nvalloc_workloads::{larson, prodcon, shbench, threadtest, BenchMeasurement, Reporter};
 
-use crate::experiments::{mops_cell, pool_eadr_mb, pool_mb};
+use crate::experiments::{mops_cell, pool_eadr_mb_san, pool_mb_san};
 use crate::Scale;
 
 /// The four small-allocation benchmarks of Figs. 9/10.
@@ -19,7 +19,8 @@ fn run_bench(
     scale: &Scale,
     eadr: bool,
 ) -> BenchMeasurement {
-    let pool = if eadr { pool_eadr_mb(512) } else { pool_mb(512) };
+    let san = scale.pmsan && which.is_nvalloc();
+    let pool = if eadr { pool_eadr_mb_san(512, san) } else { pool_mb_san(512, san) };
     let alloc = which.create_traced(pool, 1 << 19, scale.tracing(), scale.trace_events());
     let m = match bench {
         "Threadtest" => {

@@ -4,7 +4,7 @@
 use nvalloc_workloads::allocators::Which;
 use nvalloc_workloads::{dbmstest, threadtest, Reporter};
 
-use crate::experiments::{mib, pool_mb};
+use crate::experiments::{mib, pool_mb_san};
 use crate::Scale;
 
 const SET: [Which; 5] =
@@ -22,7 +22,7 @@ pub fn run_fig13(scale: &Scale) {
             let mut row = vec![t.to_string()];
             for &w in &SET {
                 let alloc = w.create_traced(
-                    pool_mb(512 + t * 48),
+                    pool_mb_san(512 + t * 48, scale.pmsan && w.is_nvalloc()),
                     1 << 19,
                     scale.tracing(),
                     scale.trace_events(),

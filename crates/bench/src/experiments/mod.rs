@@ -18,7 +18,15 @@ use nvalloc_pmem::{LatencyMode, PmemConfig, PmemMode, PmemPool};
 
 /// A virtual-latency ADR pool of `mb` megabytes.
 pub fn pool_mb(mb: usize) -> Arc<PmemPool> {
-    PmemPool::new(PmemConfig::default().pool_size(mb << 20).latency_mode(LatencyMode::Virtual))
+    pool_mb_san(mb, false)
+}
+
+/// [`pool_mb`] with the persist-ordering sanitizer optionally enabled
+/// (`--pmsan` runs; NVAlloc series only — see [`crate::Scale::finish`]).
+pub fn pool_mb_san(mb: usize, pmsan: bool) -> Arc<PmemPool> {
+    PmemPool::new(
+        PmemConfig::default().pool_size(mb << 20).latency_mode(LatencyMode::Virtual).pmsan(pmsan),
+    )
 }
 
 /// A sleep-latency ADR pool of `mb` megabytes: modelled PM latency is
@@ -30,11 +38,17 @@ pub fn pool_sleep_mb(mb: usize) -> Arc<PmemPool> {
 
 /// A virtual-latency eADR pool of `mb` megabytes (§6.7 experiments).
 pub fn pool_eadr_mb(mb: usize) -> Arc<PmemPool> {
+    pool_eadr_mb_san(mb, false)
+}
+
+/// [`pool_eadr_mb`] with the persist-ordering sanitizer optionally on.
+pub fn pool_eadr_mb_san(mb: usize, pmsan: bool) -> Arc<PmemPool> {
     PmemPool::new(
         PmemConfig::default()
             .pool_size(mb << 20)
             .latency_mode(LatencyMode::Virtual)
-            .pmem_mode(PmemMode::Eadr),
+            .pmem_mode(PmemMode::Eadr)
+            .pmsan(pmsan),
     )
 }
 

@@ -4,6 +4,7 @@
 //! `fig_all` runs the lot. See DESIGN.md for the experiment index and
 //! EXPERIMENTS.md for recorded results.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

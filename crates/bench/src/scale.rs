@@ -39,6 +39,13 @@ pub struct Scale {
     /// capture a whole run — e.g. a morph that happens mid-workload —
     /// at 40 B per event of DRAM.
     pub trace_events: usize,
+    /// Run with the persist-ordering sanitizer (`--pmsan`): pools are
+    /// built with shadow persist-state, and [`Scale::finish`] prints the
+    /// violation report and **panics on any violation** — the CI
+    /// zero-violation gate. Throughput numbers from sanitized runs
+    /// measure the same modelled work (the sanitizer only observes the
+    /// persistence stream) but pay its DRAM/atomics overhead.
+    pub pmsan: bool,
 }
 
 impl Scale {
@@ -96,8 +103,9 @@ impl Scale {
                     s.trace_events =
                         args[i].parse().expect("--trace-events takes a per-thread ring capacity");
                 }
+                "--pmsan" => s.pmsan = true,
                 other => panic!(
-                    "unknown flag {other} (try --quick/--full/--threads 1,2,4/--ops 10000/--json out.jsonl/--trace t.json/--trace-events 1000000/--save-pool p.heap)"
+                    "unknown flag {other} (try --quick/--full/--threads 1,2,4/--ops 10000/--json out.jsonl/--trace t.json/--trace-events 1000000/--save-pool p.heap/--pmsan)"
                 ),
             }
             i += 1;
@@ -139,12 +147,33 @@ impl Scale {
                     .unwrap_or_else(|e| panic!("--trace {}: {e}", path.display()));
             }
         }
-        if let Some(path) = &self.save_pool {
+        // Sanitized allocators (pmsan pools) get an orderly shutdown —
+        // quiesce drains deferred frees, exit persists volatile caches —
+        // and then the zero-violation gate. Baselines run on plain pools
+        // even under `--pmsan` (their naive persistence patterns are the
+        // *subject* of the motivation figures), so this is a no-op for
+        // them.
+        let sanitized = self.pmsan && alloc.pool().pmsan_enabled();
+        if sanitized {
+            alloc.quiesce();
+        }
+        if sanitized || self.save_pool.is_some() {
             alloc.exit();
+        }
+        if let Some(path) = &self.save_pool {
             alloc
                 .pool()
                 .save_heap_file(path, false)
                 .unwrap_or_else(|e| panic!("--save-pool {}: {e}", path.display()));
+        }
+        if sanitized {
+            let report = alloc.pool().pmsan_report().expect("sanitized pool carries state");
+            println!("pmsan: {}", report.to_json());
+            assert_eq!(
+                report.total(),
+                0,
+                "persist-ordering violations detected (see report above)"
+            );
         }
     }
 
@@ -172,6 +201,7 @@ impl Default for Scale {
             trace: None,
             save_pool: None,
             trace_events: 4096,
+            pmsan: false,
         }
     }
 }

@@ -67,6 +67,13 @@ pub trait PmAllocator: Send + Sync + Debug {
         None
     }
 
+    /// Drain deferred work without shutting down: return every arena's
+    /// pending remote (cross-arena) frees to their slabs and fence any
+    /// resulting flushes, leaving an idle heap with no stranded queues.
+    /// This is the defined "clean point" the pmsan shutdown audit
+    /// assumes. Baselines defer nothing and inherit this no-op.
+    fn quiesce(&self) {}
+
     /// Orderly shutdown (the paper's `nvalloc_exit()`): flush volatile
     /// state that recovery would otherwise have to reconstruct and mark
     /// the heap cleanly closed.

@@ -39,6 +39,40 @@ pub const ENTRIES_PER_CHUNK: usize = (CHUNK_BYTES - CHUNK_HEADER_BYTES) / 8; // 
 /// Bytes of the log-region header.
 pub const LOG_HEADER_BYTES: usize = 64;
 
+/// Raw media image of the 64 B log-region header. Word 0 holds the `alt`
+/// bit slow GC flips atomically to switch chains; exactly one of the two
+/// head words is active at a time. Sizes and offsets are pinned by
+/// `tests/layout_sizes.rs` (the `repr-c-sizes` lint rule keeps that table
+/// in sync with every `#[repr(C)]` layout here).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogHeaderRaw {
+    /// Word 0: active-chain selector; only bit 0 is meaningful.
+    pub alt: u64,
+    /// Word 1: chain head when `alt == 0`, encoded `id + 1` (0 = empty).
+    pub head_a: u64,
+    /// Word 2: chain head when `alt == 1`, encoded `id + 1` (0 = empty).
+    pub head_b: u64,
+    /// Word 3: carve high-water mark — chunks `0..carved` have been
+    /// formatted at least once, so recovery scans exactly this span.
+    pub carved: u64,
+    /// Words 4–7: reserved, zero on fresh media.
+    pub reserved: [u64; 4],
+}
+
+/// Raw media image of one chunk's 64 B header.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkHeaderRaw {
+    /// Word 0: `epoch << 32 | id`; the epoch bumps on every reuse so
+    /// stale [`EntryRef`]s can be detected.
+    pub id_epoch: u64,
+    /// Word 1: next chunk in the chain, encoded `id + 1` (0 = end).
+    pub next: u64,
+    /// Words 2–7: reserved, zero on fresh media.
+    pub reserved: [u64; 6],
+}
+
 const TYPE_BITS: u64 = 0b111;
 const TYPE_EXTENT: u64 = 1;
 const TYPE_SLAB: u64 = 2;
@@ -185,7 +219,9 @@ impl BookLog {
         slow_gc_threshold_bytes: usize,
     ) -> Self {
         assert!(region_bytes >= LOG_HEADER_BYTES + 2 * CHUNK_BYTES, "booklog region too small");
+        // Fresh media is already zero; restating it owes no flush.
         pool.fill_bytes(base, LOG_HEADER_BYTES, 0);
+        pool.pmsan_mark_persisted(base, LOG_HEADER_BYTES);
         BookLog {
             base,
             region_bytes,
@@ -469,8 +505,17 @@ impl BookLog {
             self.in_gc = false;
             return Err(e);
         }
-        // Atomic switch: persist the alt bit (header word 0).
-        self.persist_header_word(pool, t, 0, self.alt);
+        // Atomic switch: persist the alt bit (header word 0). Written out
+        // long-hand (store / charge / flush / fence) so the mutation
+        // tests can delete exactly one flush or fence from the switch.
+        pool.write_u64(self.base, self.alt);
+        pool.charge_store(t, self.base, 8);
+        if !faults::skip_flip_flush() {
+            pool.flush(t, self.base, 8, FlushKind::BookLog);
+        }
+        if !faults::skip_flip_fence() {
+            pool.fence(t);
+        }
         t.trace(crate::trace::EventKind::BooklogGc.code(), 1, moves.len() as u64);
         // Recycle the old chain.
         let mut cur = old_head;
@@ -612,6 +657,38 @@ impl BookLog {
             }
         }
         (log, out)
+    }
+}
+
+/// Test-only fault injection for the slow-GC atomic switch: mutation
+/// tests delete exactly one flush or fence from the alt-bit flip and
+/// assert pmsan flags that site. Compiled out of release builds.
+#[cfg(test)]
+pub(crate) mod faults {
+    use std::cell::Cell;
+
+    thread_local! {
+        pub static SKIP_FLIP_FLUSH: Cell<bool> = const { Cell::new(false) };
+        pub static SKIP_FLIP_FENCE: Cell<bool> = const { Cell::new(false) };
+    }
+
+    pub(crate) fn skip_flip_flush() -> bool {
+        SKIP_FLIP_FLUSH.with(|f| f.get())
+    }
+
+    pub(crate) fn skip_flip_fence() -> bool {
+        SKIP_FLIP_FENCE.with(|f| f.get())
+    }
+}
+
+#[cfg(not(test))]
+mod faults {
+    pub(crate) fn skip_flip_flush() -> bool {
+        false
+    }
+
+    pub(crate) fn skip_flip_fence() -> bool {
+        false
     }
 }
 
@@ -852,6 +929,105 @@ mod tests {
         };
         assert!(run(1) > 30, "sequential log appends must reflush");
         assert_eq!(run(6), 0, "interleaved appends must not reflush");
+    }
+
+    // ---- pmsan mutation tests (ordering-sanitizer sensitivity) ----
+    //
+    // Delete exactly one flush or one fence from slow GC's alt-bit flip
+    // via the `faults` hooks and assert the sanitizer flags that site.
+
+    use nvalloc_pmem::PmsanKind;
+
+    fn san_pool() -> Arc<PmemPool> {
+        PmemPool::new(
+            PmemConfig::default()
+                .pool_size(8 << 20)
+                .latency_mode(LatencyMode::Off)
+                .crash_tracking(true)
+                .pmsan(true),
+        )
+    }
+
+    #[test]
+    fn pmsan_unmutated_slow_gc_is_clean() {
+        let p = san_pool();
+        let mut t = p.register_thread();
+        let mut log = BookLog::create(&p, 0, 1 << 20, 1, true, usize::MAX);
+        let r0 = log.append(&p, &mut t, entry(0x10000, 4096)).unwrap();
+        log.append(&p, &mut t, entry(0x20000, 4096)).unwrap();
+        log.delete(&p, &mut t, r0).unwrap();
+        log.slow_gc(&p, &mut t).unwrap();
+        assert_eq!(p.pmsan_total(), 0, "{}", p.pmsan_report().unwrap().to_json());
+    }
+
+    #[test]
+    fn pmsan_flags_deleted_flip_flush() {
+        let p = san_pool();
+        let mut t = p.register_thread();
+        let mut log = BookLog::create(&p, 0, 1 << 20, 1, true, usize::MAX);
+        log.append(&p, &mut t, entry(0x10000, 4096)).unwrap();
+        assert_eq!(p.pmsan_total(), 0, "setup must be ordering-clean");
+        faults::SKIP_FLIP_FLUSH.with(|f| f.set(true));
+        log.slow_gc(&p, &mut t).unwrap();
+        faults::SKIP_FLIP_FLUSH.with(|f| f.set(false));
+        let r = p.pmsan_report().unwrap();
+        assert_eq!(r.count(PmsanKind::EmptyFence), 1, "{}", r.to_json());
+        assert_eq!(r.total(), 1, "exactly the deleted site: {}", r.to_json());
+        // The alt bit never reached media: the header line is unpersisted.
+        assert!(!p.pmsan_line_persisted(0), "flip store must still be dirty");
+    }
+
+    #[test]
+    fn pmsan_flags_deleted_flip_fence() {
+        let p = san_pool();
+        let mut t = p.register_thread();
+        let mut log = BookLog::create(&p, 0, 1 << 20, 1, true, usize::MAX);
+        assert_eq!(p.pmsan_total(), 0, "setup must be ordering-clean");
+        faults::SKIP_FLIP_FENCE.with(|f| f.set(true));
+        log.slow_gc(&p, &mut t).unwrap();
+        faults::SKIP_FLIP_FENCE.with(|f| f.set(false));
+        // The flush happened but was never fenced: the flip is not
+        // durable yet, and no violation has fired so far.
+        assert!(!p.pmsan_line_persisted(0), "unfenced flush must not persist");
+        assert_eq!(p.pmsan_total(), 0);
+        // The next flip stores to the header line while that flush is
+        // still pending — exactly the hazard the deleted fence guarded.
+        log.slow_gc(&p, &mut t).unwrap();
+        let r = p.pmsan_report().unwrap();
+        assert_eq!(r.count(PmsanKind::StoreUnfenced), 1, "{}", r.to_json());
+        assert_eq!(r.total(), 1, "exactly the deleted site: {}", r.to_json());
+        assert_eq!(r.violations[0].line, 0, "violation pinpoints the header line");
+    }
+
+    #[test]
+    fn window_enumeration_covers_slow_gc_switch() {
+        // Enumerate every legal crash image across the slow-GC window:
+        // each image must recover to either the pre-GC or post-GC live
+        // set — never a mixture, never a loss.
+        let p = san_pool();
+        let mut t = p.register_thread();
+        let mut log = BookLog::create(&p, 0, 1 << 20, 1, true, usize::MAX);
+        let r0 = log.append(&p, &mut t, entry(0x10000, 4096)).unwrap();
+        for a in [0x20000u64, 0x30000, 0x40000] {
+            log.append(&p, &mut t, entry(a, 4096)).unwrap();
+        }
+        log.delete(&p, &mut t, r0).unwrap();
+        p.pmsan_window_begin();
+        log.slow_gc(&p, &mut t).unwrap();
+        let w = p.pmsan_window_end();
+        assert!(w.fence_count() > 0, "slow gc must fence inside the window");
+        let images = p.pmsan_window_images(&w, 256);
+        assert!(!images.is_empty());
+        let want: Vec<u64> = vec![0x20000, 0x30000, 0x40000];
+        let n = images.len();
+        for (i, img) in images.into_iter().enumerate() {
+            let rp = PmemPool::from_crash_image(img);
+            let (_, recovered) = BookLog::recover(&rp, 0, 1 << 20, 1, true, usize::MAX);
+            let mut got: Vec<u64> = recovered.iter().map(|(_, e)| e.addr).collect();
+            got.sort_unstable();
+            assert_eq!(got, want, "image {i}/{n} lost or duplicated entries");
+        }
+        assert_eq!(p.pmsan_total(), 0, "{}", p.pmsan_report().unwrap().to_json());
     }
 }
 

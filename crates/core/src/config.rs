@@ -113,6 +113,18 @@ pub struct NvConfig {
     /// Oldest events are overwritten once a ring is full (surfaced by the
     /// `trace_dropped` metric).
     pub trace_events_per_thread: usize,
+    /// Persist-ordering sanitizer ([`nvalloc_pmem::pmsan`]): every 64 B
+    /// line carries a persist-state machine and ordering violations are
+    /// recorded with flight-recorder context, counted in telemetry
+    /// (`pmsan_*`), and reportable as JSON. Also enables crash-image
+    /// enumeration windows. The sanitizer itself lives in the pool
+    /// ([`nvalloc_pmem::PmemConfig::pmsan`] — it must size shadow state
+    /// at pool construction); this knob declares intent at the allocator
+    /// level and is reconciled to the pool's actual state at
+    /// create/recover, so `config()` always reports what is running.
+    /// Off by default: the shadow cells cost 8 B per 64 B of pool and a
+    /// few atomics per persistence call.
+    pub pmsan: bool,
 }
 
 impl NvConfig {
@@ -141,6 +153,7 @@ impl NvConfig {
             telemetry: true,
             trace: false,
             trace_events_per_thread: 4096,
+            pmsan: false,
         }
     }
 
@@ -243,6 +256,13 @@ impl NvConfig {
     /// Enable/disable the flight recorder.
     pub fn trace(mut self, on: bool) -> Self {
         self.trace = on;
+        self
+    }
+
+    /// Enable or disable the persist-ordering sanitizer
+    /// ([`NvConfig::pmsan`]).
+    pub fn pmsan(mut self, on: bool) -> Self {
+        self.pmsan = on;
         self
     }
 

@@ -18,6 +18,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+// nvalloc-lint: allow(determinism) — lock wait/hold profiling timestamps only; never feeds persistent state.
 use std::time::Instant;
 
 use nvalloc_pmem::{
@@ -285,8 +286,11 @@ impl NvAllocator {
         let layout = Layout::compute(&cfg, pool.size())?;
         let mut t = pool.register_thread();
 
-        // Zero the metadata area.
+        // Zero the metadata area. The backing words are already zero, so
+        // this re-states durable content: tell the sanitizer no flush is
+        // owed for it (it is not an ordering-relevant store sequence).
         pool.fill_bytes(0, layout.heap_base as usize, 0);
+        pool.pmsan_mark_persisted(0, layout.heap_base as usize);
 
         let geoms = GeometryTable::new(cfg.stripes_for(cfg.interleave_bitmap));
         let rtree = Arc::new(RTree::new());
@@ -355,6 +359,10 @@ impl NvAllocator {
         }
         cfg.arenas = cfg.arenas.max(1);
         cfg.stripes = cfg.stripes.max(1);
+        // The sanitizer lives in the pool; the allocator-side knob just
+        // declares intent. Reflect the pool's reality so `config()` and
+        // the config log never disagree with what is actually running.
+        cfg.pmsan = pool.pmsan_enabled();
         cfg
     }
 
@@ -535,6 +543,15 @@ impl PmAllocator for NvAllocator {
             s.trace_events = rec.events();
             s.trace_dropped = rec.dropped();
         }
+        // So is pmsan: the sanitizer lives in the pool and its counters
+        // are the ground truth for the CI zero-violation gates.
+        if let Some(c) = self.0.pool.pmsan_counts() {
+            s.pmsan_store_unfenced = c[0];
+            s.pmsan_empty_fence = c[1];
+            s.pmsan_redundant_flush = c[2];
+            s.pmsan_shutdown_dirty = c[3];
+            s.pmsan_violations = c.iter().sum();
+        }
         s
     }
 
@@ -542,22 +559,55 @@ impl PmAllocator for NvAllocator {
         self.0.tracer.as_ref().map(|r| r.chrome_json())
     }
 
+    fn quiesce(&self) {
+        let pool = &self.0.pool;
+        let mut t = pool.register_thread();
+        for a in &self.0.arenas {
+            let mut inner = a.inner.lock();
+            self.0.drain_remote(&mut t, a, &mut inner);
+        }
+        // Draining is volatile, but returning the last block of a slab
+        // can retire the frame (persistent header scrub); order any such
+        // flushes now. No-op if nothing was flushed.
+        pool.fence_pending(&mut t);
+    }
+
     fn exit(&self) {
         let pool = &self.0.pool;
         let mut t = pool.register_thread();
         // Flush everything recovery reads: slab headers + bitmaps + index
         // tables (the GC variant never flushed them at runtime), and the
-        // root region.
+        // root region. These are writeback sweeps — re-flushing lines the
+        // LOG variant already persisted is the point, not a bug.
         for a in &self.0.arenas {
             let mut inner = a.inner.lock();
             self.0.drain_remote(&mut t, a, &mut inner);
             for vs in inner.slabs.values() {
-                pool.flush(&mut t, vs.off, vs.data_offset, FlushKind::Meta);
+                pool.flush_writeback(&mut t, vs.off, vs.data_offset, FlushKind::Meta);
             }
             a.set_state(pool, &mut t, arena_state::NORMAL_SHUTDOWN);
         }
-        pool.flush(&mut t, self.0.layout.roots, self.0.layout.roots_count * 8, FlushKind::Meta);
+        pool.flush_writeback(
+            &mut t,
+            self.0.layout.roots,
+            self.0.layout.roots_count * 8,
+            FlushKind::Meta,
+        );
         pool.fence(&mut t);
+        // With the sanitizer on, audit the committed-reachable metadata:
+        // after the sweep above, every line recovery depends on — the
+        // whole metadata region below heap_base plus each live slab's
+        // header/bitmap/index prefix — must be persisted. Violations are
+        // recorded as `ShutdownDirty` with this thread's context.
+        if pool.pmsan_enabled() {
+            pool.pmsan_audit_range(&t, 0, self.0.layout.heap_base as usize);
+            for a in &self.0.arenas {
+                let inner = a.inner.lock();
+                for vs in inner.slabs.values() {
+                    pool.pmsan_audit_range(&t, vs.off, vs.data_offset);
+                }
+            }
+        }
     }
 }
 

@@ -23,6 +23,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+// nvalloc-lint: allow(determinism) — lock profiling and deferred-free epoch pacing only; never feeds persistent state.
 use std::time::Instant;
 
 use nvalloc_pmem::{FlushKind, PmError, PmOffset, PmResult, PmThread, PmemPool};
@@ -431,13 +432,19 @@ impl LargeAlloc {
             return; // direct mappings outside regions carry no chunk map
         };
         let first = ((off - region.off) as usize) / CHUNK_GRANULE;
-        let last = ((off + size as u64 - 1 - region.off) as usize) / CHUNK_GRANULE;
-        for c in first..=last.min(REGION_BYTES / CHUNK_GRANULE - 1) {
-            let m = region.off + (CHUNK_MAP_OFF + c * 2) as u64;
-            pool.write_u16(m, value);
-            pool.charge_store(t, m, 2);
-            pool.flush(t, m, 2, FlushKind::Meta);
+        let last = (((off + size as u64 - 1 - region.off) as usize) / CHUNK_GRANULE)
+            .min(REGION_BYTES / CHUNK_GRANULE - 1);
+        // All stores first, then one flush of the covered map range:
+        // flushing after each mark would re-dirty a flushed-pending line
+        // (an ordering-discipline violation pmsan flags) and eat the
+        // reflush penalty on every entry sharing a cache line.
+        for c in first..=last {
+            pool.write_u16(region.off + (CHUNK_MAP_OFF + c * 2) as u64, value);
         }
+        let base = region.off + (CHUNK_MAP_OFF + first * 2) as u64;
+        let bytes = (last - first + 1) * 2;
+        pool.charge_store(t, base, bytes);
+        pool.flush(t, base, bytes, FlushKind::Meta);
     }
 
     /// Remove a VEH's persistent record.
@@ -569,11 +576,15 @@ impl LargeAlloc {
             let n = self.regions.len() as u64;
             let cap = (self.cfg.region_table_bytes / 8).saturating_sub(1) as u64;
             assert!(n <= cap, "region table full ({n} regions)");
+            // Slot first, count last: the count word is the commit point,
+            // so it must never persist ahead of the entry it makes
+            // reachable (a crash between the two would hand recovery a
+            // garbage region pointer).
             pool.write_u64(self.cfg.region_table_base + n * 8, off);
-            pool.persist_u64(t, self.cfg.region_table_base, n, FlushKind::Meta);
             pool.charge_store(t, self.cfg.region_table_base + n * 8, 8);
             pool.flush(t, self.cfg.region_table_base + n * 8, 8, FlushKind::Meta);
             pool.fence(t);
+            pool.persist_u64(t, self.cfg.region_table_base, n, FlushKind::Meta);
             Ok((off + REGION_HEADER_BYTES as u64, REGION_BYTES - REGION_HEADER_BYTES))
         }
     }

@@ -80,6 +80,9 @@ pub use size_class::{class_size, size_to_class, ClassId, LARGE_MIN, NUM_CLASSES,
 /// isolating the *policy* differences the paper measures.
 pub mod internals {
     pub use crate::bitmap::{BitmapLayout, PmBitmap};
+    pub use crate::booklog::{
+        ChunkHeaderRaw, LogHeaderRaw, CHUNK_BYTES, CHUNK_HEADER_BYTES, LOG_HEADER_BYTES,
+    };
     pub use crate::geometry::{GeometryTable, SlabGeometry, SLAB_FIXED_HEADER};
     pub use crate::interleave::Interleave;
     pub use crate::large::{
@@ -88,6 +91,8 @@ pub mod internals {
     };
     pub use crate::rtree::{Owner, RTree};
     pub use crate::size_class::CLASS_SIZES;
+    pub use crate::slab::SlabHeaderRaw;
+    pub use crate::wal::{WalEntryRaw, WAL_ENTRY_BYTES};
 }
 
 pub use nvalloc_pmem::{PmError, PmOffset, PmResult};

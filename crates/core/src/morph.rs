@@ -197,8 +197,12 @@ fn apply(
     pool.write_u64(off + 8, header_word1(plan.old_data_offset as u32, old_class, index_len));
     pool.write_u64(off + 16, plan.old_data_offset as u64 | (plan.index_off as u64) << 32);
     pool.charge_store(t, off + 8, 16);
-    pool.flush(t, off + 8, 16, FlushKind::Meta);
-    pool.fence(t);
+    if !faults::skip_step1_flush() {
+        pool.flush(t, off + 8, 16, FlushKind::Meta);
+    }
+    if !faults::skip_step1_fence() {
+        pool.fence(t);
+    }
     persist_flag(pool, t, off, old_class, flag::OLD_SAVED);
 
     // Step 2: write the index table.
@@ -264,6 +268,39 @@ fn apply(
         inner.freelist_push(new_class, off);
     }
     Some(off)
+}
+
+/// Test-only fault injection: mutation tests for the pmsan sanitizer
+/// delete exactly one flush or one fence from the step-1 sequence and
+/// assert pmsan flags that site. Compiled out of release builds; the
+/// accessors below collapse to `false` constants outside `cfg(test)`.
+#[cfg(test)]
+pub(crate) mod faults {
+    use std::cell::Cell;
+
+    thread_local! {
+        pub static SKIP_STEP1_FLUSH: Cell<bool> = const { Cell::new(false) };
+        pub static SKIP_STEP1_FENCE: Cell<bool> = const { Cell::new(false) };
+    }
+
+    pub(crate) fn skip_step1_flush() -> bool {
+        SKIP_STEP1_FLUSH.with(|f| f.get())
+    }
+
+    pub(crate) fn skip_step1_fence() -> bool {
+        SKIP_STEP1_FENCE.with(|f| f.get())
+    }
+}
+
+#[cfg(not(test))]
+mod faults {
+    pub(crate) fn skip_step1_flush() -> bool {
+        false
+    }
+
+    pub(crate) fn skip_step1_fence() -> bool {
+        false
+    }
 }
 
 fn mark_overlaps(cnt_block: &mut [u16], new_doff: usize, new_bs: usize, start: usize, end: usize) {
@@ -637,5 +674,72 @@ mod tests {
         assert!(blocked >= class_size(big) / class_size(small));
         release_old_block(&p, &mut t, &mut inner, 0, addrs[0]).unwrap();
         assert!(inner.slabs[&0].morph.is_none());
+    }
+
+    // ---- pmsan mutation tests (ordering-sanitizer sensitivity) ----
+    //
+    // Each test deletes exactly one flush or one fence from the step-1
+    // header-save sequence via the `faults` hooks and asserts the
+    // sanitizer flags exactly that site — and nothing else.
+
+    use nvalloc_pmem::PmsanKind;
+
+    fn san_pool() -> Arc<PmemPool> {
+        PmemPool::new(
+            PmemConfig::default()
+                .pool_size(4 << 20)
+                .latency_mode(LatencyMode::Off)
+                .crash_tracking(true)
+                .pmsan(true),
+        )
+    }
+
+    fn san_morph(skip_flush: bool, skip_fence: bool) -> Arc<PmemPool> {
+        let p = san_pool();
+        let mut t = p.register_thread();
+        let g = GeometryTable::new(6);
+        let small = size_to_class(100).unwrap();
+        let big = size_to_class(1200).unwrap();
+        let nb = g.of(small).nblocks;
+        let live = [nb / 2, nb / 2 + 4];
+        let (mut inner, _) = arena_with_slab(&p, &mut t, &g, small, &live);
+        assert_eq!(p.pmsan_total(), 0, "setup must be ordering-clean");
+        faults::SKIP_STEP1_FLUSH.with(|f| f.set(skip_flush));
+        faults::SKIP_STEP1_FENCE.with(|f| f.set(skip_fence));
+        let r = try_morph(&p, &mut t, &mut inner, &g, 0.2, big, None, &CoreMetrics::new(true));
+        faults::SKIP_STEP1_FLUSH.with(|f| f.set(false));
+        faults::SKIP_STEP1_FENCE.with(|f| f.set(false));
+        r.expect("morphs");
+        p
+    }
+
+    #[test]
+    fn pmsan_unmutated_morph_is_clean() {
+        let p = san_morph(false, false);
+        assert_eq!(p.pmsan_total(), 0, "{}", p.pmsan_report().unwrap().to_json());
+    }
+
+    #[test]
+    fn pmsan_flags_deleted_step1_flush() {
+        // Without the step-1 flush, its fence commits nothing: the very
+        // next fence in the sequence is flagged as empty.
+        let p = san_morph(true, false);
+        let r = p.pmsan_report().unwrap();
+        assert_eq!(r.count(PmsanKind::EmptyFence), 1, "{}", r.to_json());
+        assert_eq!(r.total(), 1, "exactly the deleted site: {}", r.to_json());
+    }
+
+    #[test]
+    fn pmsan_flags_deleted_step1_fence() {
+        // Without the step-1 fence, the flag-word store in persist_flag
+        // lands on the header line while its flush is still pending: the
+        // OLD_SAVED transition could reach media before the fields it
+        // depends on.
+        let p = san_morph(false, true);
+        let r = p.pmsan_report().unwrap();
+        assert_eq!(r.count(PmsanKind::StoreUnfenced), 1, "{}", r.to_json());
+        assert_eq!(r.total(), 1, "exactly the deleted site: {}", r.to_json());
+        // The violation pinpoints the slab header line (slab at offset 0).
+        assert_eq!(r.violations[0].line, 0);
     }
 }

@@ -550,7 +550,9 @@ fn conservative_gc(
         }
         pool.flush(t, vs.off, vs.data_offset, FlushKind::Meta);
     }
-    pool.fence(t);
+    // Conditional: with no slabs to sweep, nothing was flushed and an
+    // unconditional fence here would order nothing (pmsan: empty_fence).
+    pool.fence_pending(t);
 
     // Free unreachable non-slab extents.
     let unreachable: Vec<VehId> = large_active_nonslab(large)

@@ -82,7 +82,7 @@ impl RemoteFreeQueue {
         let node = Box::into_raw(Box::new(Node { item, next: ptr::null_mut() }));
         let mut head = self.head.load(Ordering::Relaxed);
         loop {
-            // Safety: `node` is ours until the CAS publishes it.
+            // SAFETY: `node` is ours until the CAS publishes it.
             unsafe { (*node).next = head };
             match self.head.compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
             {
@@ -108,7 +108,7 @@ impl RemoteFreeQueue {
         let mut p = self.head.swap(ptr::null_mut(), Ordering::Acquire);
         let mut out = Vec::new();
         while !p.is_null() {
-            // Safety: the swap gave us exclusive ownership of the chain.
+            // SAFETY: the swap gave us exclusive ownership of the chain.
             let node = unsafe { Box::from_raw(p) };
             out.push(node.item);
             p = node.next;
@@ -125,7 +125,7 @@ impl Drop for RemoteFreeQueue {
     }
 }
 
-// Safety: the queue owns heap nodes reachable only through `head`;
+// SAFETY: the queue owns heap nodes reachable only through `head`;
 // publication is ordered by the Release CAS / Acquire swap pair.
 unsafe impl Send for RemoteFreeQueue {}
 unsafe impl Sync for RemoteFreeQueue {}

@@ -63,7 +63,7 @@ fn install<T>(slot: &AtomicPtr<T>, fresh: impl FnOnce() -> *mut T) -> *mut T {
     match slot.compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Acquire) {
         Ok(_) => node,
         Err(winner) => {
-            // Safety: `node` was never published; we still own it.
+            // SAFETY: `node` was never published; we still own it.
             unsafe { drop(Box::from_raw(node)) };
             winner
         }
@@ -114,11 +114,12 @@ impl RTree {
         if mid.is_null() {
             return None;
         }
-        // Safety: non-null interior nodes live until Drop (&self borrow).
+        // SAFETY: non-null interior nodes live until Drop (&self borrow).
         let leaf = unsafe { (*mid).slots[i2].load(Ordering::Acquire) };
         if leaf.is_null() {
             return None;
         }
+        // SAFETY: same lifetime argument as above for the leaf node.
         Some(unsafe { &(*leaf).vals[i3] })
     }
 
@@ -127,8 +128,9 @@ impl RTree {
     fn slot_or_install(&self, off: PmOffset) -> &AtomicU64 {
         let (i1, i2, i3) = Self::split(off);
         let mid = install(&self.root[i1], new_mid);
-        // Safety: installed nodes live until Drop (&self borrow).
+        // SAFETY: installed nodes live until Drop (&self borrow).
         let leaf = install(unsafe { &(*mid).slots[i2] }, new_leaf);
+        // SAFETY: `leaf` was just installed and lives until Drop.
         unsafe { &(*leaf).vals[i3] }
     }
 
@@ -174,7 +176,7 @@ impl Drop for RTree {
             if mid.is_null() {
                 continue;
             }
-            // Safety: `&mut self` means no concurrent access; every
+            // SAFETY: `&mut self` means no concurrent access; every
             // non-null pointer was Box-allocated by install() exactly once.
             unsafe {
                 for ls in (*mid).slots.iter() {

@@ -21,6 +21,7 @@
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+// nvalloc-lint: allow(determinism) — lock wait/hold profiling timestamps only; never feeds persistent state.
 use std::time::Instant;
 
 use parking_lot::{Mutex, MutexGuard};

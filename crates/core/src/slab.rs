@@ -289,6 +289,24 @@ pub fn header_word1(data_offset: u32, old_class: u16, index_len: u16) -> u64 {
     data_offset as u64 | (old_class as u64) << 32 | (index_len as u64) << 48
 }
 
+/// Raw media image of the 24 B fixed slab header (three packed words;
+/// [`SlabHeader`] is the decoded view). The pack/unpack helpers above
+/// define the bit layout inside each word; this mirror pins the word
+/// count and offsets via `tests/layout_sizes.rs` (kept in sync by the
+/// `repr-c-sizes` lint rule).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlabHeaderRaw {
+    /// Word 0: `flag << 48 | class << 32 | SLAB_MAGIC` (see
+    /// [`header_word0`]).
+    pub magic_class_flag: u64,
+    /// Word 1: `index_len << 48 | old_class << 32 | data_offset` (see
+    /// [`header_word1`]).
+    pub data_old_index: u64,
+    /// Word 2: `index_table_off << 32 | old_data_offset`.
+    pub old_data_table: u64,
+}
+
 /// Decoded persistent slab header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SlabHeader {

@@ -579,6 +579,16 @@ pub struct MetricsSnapshot {
     pub extent_coalesces: u64,
     /// Decay-schedule ticks executed by the large allocator.
     pub decay_epochs: u64,
+    /// pmsan: stores over a flushed-but-unfenced line (ordering races).
+    pub pmsan_store_unfenced: u64,
+    /// pmsan: fences issued with zero pending flushes.
+    pub pmsan_empty_fence: u64,
+    /// pmsan: flushes of lines with nothing unpersisted.
+    pub pmsan_redundant_flush: u64,
+    /// pmsan: lines still unpersisted at the shutdown audit.
+    pub pmsan_shutdown_dirty: u64,
+    /// pmsan: total persist-ordering violations (sum of the four above).
+    pub pmsan_violations: u64,
     /// Op-latency histograms over the virtual PM clock.
     pub hists: OpHistograms,
 }
@@ -664,6 +674,17 @@ impl MetricsSnapshot {
             extent_splits: self.extent_splits.saturating_sub(earlier.extent_splits),
             extent_coalesces: self.extent_coalesces.saturating_sub(earlier.extent_coalesces),
             decay_epochs: self.decay_epochs.saturating_sub(earlier.decay_epochs),
+            pmsan_store_unfenced: self
+                .pmsan_store_unfenced
+                .saturating_sub(earlier.pmsan_store_unfenced),
+            pmsan_empty_fence: self.pmsan_empty_fence.saturating_sub(earlier.pmsan_empty_fence),
+            pmsan_redundant_flush: self
+                .pmsan_redundant_flush
+                .saturating_sub(earlier.pmsan_redundant_flush),
+            pmsan_shutdown_dirty: self
+                .pmsan_shutdown_dirty
+                .saturating_sub(earlier.pmsan_shutdown_dirty),
+            pmsan_violations: self.pmsan_violations.saturating_sub(earlier.pmsan_violations),
             hists: self.hists.since(&earlier.hists),
         }
     }
@@ -734,6 +755,11 @@ impl MetricsSnapshot {
         o.field_u64("booklog_slow_gc_runs", self.booklog_slow_gc_runs);
         o.field_u64("booklog_slow_gc_copied", self.booklog_slow_gc_copied);
         o.field_u64("booklog_alt_flips", self.booklog_alt_flips);
+        o.field_u64("pmsan_store_unfenced", self.pmsan_store_unfenced);
+        o.field_u64("pmsan_empty_fence", self.pmsan_empty_fence);
+        o.field_u64("pmsan_redundant_flush", self.pmsan_redundant_flush);
+        o.field_u64("pmsan_shutdown_dirty", self.pmsan_shutdown_dirty);
+        o.field_u64("pmsan_violations", self.pmsan_violations);
         o.field_u64("extent_best_fit", self.extent_best_fit);
         o.field_u64("extent_splits", self.extent_splits);
         o.field_u64("extent_coalesces", self.extent_coalesces);

@@ -82,11 +82,16 @@ pub enum EventKind {
     /// 1 slabs-scanned / 2 wal-replayed / 3 gc-complete / 4 done),
     /// `b` = phase-specific count.
     RecoveryPhase = 16,
+    /// pmsan persist-ordering violation (emitted by the pmem substrate;
+    /// code must equal `nvalloc_pmem::PMSAN_TRACE_CODE`). `a` = 64 B
+    /// line offset, `b` = violation-kind ordinal
+    /// (`nvalloc_pmem::PmsanKind` index).
+    PmsanViolation = 17,
 }
 
 impl EventKind {
     /// Every kind, in code order.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::MallocBegin,
         EventKind::MallocEnd,
         EventKind::FreeBegin,
@@ -103,6 +108,7 @@ impl EventKind {
         EventKind::RemoteDrain,
         EventKind::LockAcquire,
         EventKind::RecoveryPhase,
+        EventKind::PmsanViolation,
     ];
 
     /// The on-ring event code.
@@ -133,6 +139,7 @@ impl EventKind {
             EventKind::RemoteDrain => "remote_drain",
             EventKind::LockAcquire => "lock",
             EventKind::RecoveryPhase => "recovery",
+            EventKind::PmsanViolation => "pmsan_violation",
         }
     }
 
@@ -150,6 +157,7 @@ impl EventKind {
             EventKind::RemotePush | EventKind::RemoteDrain => "remote",
             EventKind::LockAcquire => "lock",
             EventKind::RecoveryPhase => "recovery",
+            EventKind::PmsanViolation => "pmsan",
         }
     }
 }

@@ -73,6 +73,26 @@ pub struct WalEntry {
     pub seq: u64,
 }
 
+/// Raw media image of one 32 B WAL entry slot, word for word. The live
+/// code reads and writes these fields through `pool.read_u64`/`write_u64`
+/// at the offsets this struct pins down; it exists so the persistent
+/// format is stated in one place and its size/alignment/field offsets are
+/// locked by `tests/layout_sizes.rs` (the `repr-c-sizes` lint rule keeps
+/// that table in sync).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalEntryRaw {
+    /// Word 0: block or extent address the operation concerns.
+    pub addr: u64,
+    /// Word 1: user destination slot offset.
+    pub dest: u64,
+    /// Word 2: `size << 32 | op_code`; an op code of 0 marks the slot
+    /// empty, so this word is the slot's validity marker.
+    pub op_size: u64,
+    /// Word 3: global sequence number (total order across arenas).
+    pub seq: u64,
+}
+
 /// One arena's WAL region: `micro_count` micro-logs of
 /// [`MICRO_ENTRIES`] slots each.
 #[derive(Debug, Clone, Copy)]
@@ -90,7 +110,10 @@ impl WalRegion {
     /// Initialise (zero) a fresh region.
     pub fn create(pool: &PmemPool, base: PmOffset, micro_count: usize) -> Self {
         assert!(micro_count >= 1);
+        // Fresh media is already zero; this restates durable content, so
+        // no flush is owed (and the sanitizer is told as much).
         pool.fill_bytes(base, Self::region_bytes(micro_count), 0);
+        pool.pmsan_mark_persisted(base, Self::region_bytes(micro_count));
         WalRegion { base, micro_count }
     }
 

@@ -1,0 +1,9 @@
+// Lint fixture: a direct pool persistence call in a module that is not
+// on the persistence allowlist. Linted as if it lived at
+// crates/core/src/not_allowlisted.rs, it must FAIL the persistence rule.
+
+pub fn sneaky_store(pool: &Pool, t: &mut Thread) {
+    pool.write_u64(t, 0x40, 0xdead_beef);
+    pool.flush(t, 0x40, 8);
+    pool.fence(t);
+}

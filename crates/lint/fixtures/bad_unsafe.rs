@@ -1,0 +1,7 @@
+// Lint fixture: `unsafe` with no SAFETY comment anywhere nearby.
+// This file is excluded from the tree walk and must FAIL the
+// unsafe-comment rule when linted explicitly.
+
+pub fn deref_raw(p: *const u64) -> u64 {
+    unsafe { *p }
+}

@@ -1,0 +1,16 @@
+// Lint fixture: passes every rule even under the strictest scope
+// (crates/core/src, off the persistence allowlist).
+
+/// Doubles a value; no unsafe, no persistence calls, no clocks.
+pub fn double(x: u64) -> u64 {
+    x.wrapping_mul(2)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules are skipped wholesale, so even a direct persistence
+    // call here is fine:
+    pub fn in_tests(pool: &Pool, t: &mut Thread) {
+        pool.write_u64(t, 0, 1);
+    }
+}

@@ -41,6 +41,7 @@
 //! assert_eq!(pool.stats().flushes(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -48,6 +49,7 @@ mod error;
 mod file;
 mod layout;
 mod model;
+pub mod pmsan;
 mod pool;
 mod stats;
 mod thread;
@@ -56,6 +58,9 @@ mod trace;
 pub use error::{PmError, PmResult};
 pub use layout::{CACHE_LINE, XPLINE};
 pub use model::{LatencyModel, ModelParams};
+pub use pmsan::{
+    PmsanKind, PmsanReport, PmsanViolation, PmsanWindow, MAX_EXHAUSTIVE_LINES, PMSAN_TRACE_CODE,
+};
 pub use pool::{CrashImage, PmOffset, PmemConfig, PmemPool};
 pub use stats::{FlushKind, FlushRecord, PmemStats, StatsSnapshot};
 pub use thread::{ClockSpan, PmThread};

@@ -1,0 +1,530 @@
+//! pmsan — the persist-ordering sanitizer.
+//!
+//! A config-gated shadow state machine over the emulated pool: every 64 B
+//! line carries a persist state (*clean → dirty → flushed-pending →
+//! persisted at fence*), and every `write_*` / `flush` / `fence` call
+//! transitions it. The sanitizer checks the *discipline* of persist
+//! ordering, not the outcome: crash_matrix replays prefixes and the
+//! doctor audits final images, but a missing flush that happens to land
+//! in a line someone else flushed passes both. pmsan flags the missing
+//! call itself, at the call site, with flight-recorder context.
+//!
+//! ## State tracking
+//!
+//! Per line, one atomic cell packs two wrapping generation counters:
+//! `gen_stored` (bumped by every store touching the line) and
+//! `gen_persisted` (raised at fence to the generation each pending flush
+//! captured). A line is *persisted* when the two are equal. The
+//! flushed-pending set is tracked per *thread* (the `PmThread` that
+//! issued the flush), which is what makes the checks race-free: another
+//! thread legitimately storing into a line I flushed (adjacent root
+//! slots, shared bitmap words) never trips a violation, because the
+//! ordering obligation — fence before *my* dependent store — is a
+//! per-thread contract.
+//!
+//! ## Violations
+//!
+//! * [`PmsanKind::StoreUnfenced`] — a charged store to a line whose
+//!   crash-ordering dependency (this thread's own earlier flush) is
+//!   still unfenced. Detected at `charge_store`, which persistence
+//!   paths call immediately after their stores.
+//! * [`PmsanKind::EmptyFence`] — a fence issued with zero flushes
+//!   pending on the fencing thread. Harmless on hardware but always a
+//!   discipline bug: either the flush above it was lost, or the fence
+//!   itself is dead code.
+//! * [`PmsanKind::RedundantFlush`] — a metadata-granularity flush call
+//!   (≤ 2 lines) all of whose lines are already persisted and unmodified.
+//!   Large sweep flushes (shutdown write-back of whole slab headers) are
+//!   exempt; the paper's redundant-flush pathology is per-line metadata.
+//! * [`PmsanKind::ShutdownDirty`] — at a quiesced shutdown, a line
+//!   recovery depends on is still dirty or flushed-pending. Recorded by
+//!   the allocator's exit audit via [`crate::PmemPool::pmsan_audit_range`].
+//!
+//! Violations carry the recording thread's id, virtual-clock time and a
+//! pmsan-global sequence number, and are mirrored into the PR-4 flight
+//! recorder (event code [`PMSAN_TRACE_CODE`]) so a trace export shows
+//! them inline with the surrounding allocator spans.
+//!
+//! ## Crash-image enumeration
+//!
+//! With a window marked ([`crate::PmemPool::pmsan_window_begin`] /
+//! [`crate::PmemPool::pmsan_window_end`]), the sanitizer records, per
+//! fence epoch, the pre-flush persistent content of every line flushed
+//! in that epoch. From that undo log,
+//! [`crate::PmemPool::pmsan_window_images`] reconstructs, *at each
+//! fence*, every distinct legal crash image: the persisted prefix plus
+//! each subset of the epoch's flushed-pending lines (exhaustive up to
+//! [`MAX_EXHAUSTIVE_LINES`]; beyond that, the empty / full / each-single
+//! -omitted boundary cases). Running recovery plus the doctor over each
+//! image upgrades crash_matrix's single-prefix replay to
+//! exhaustive-at-fence coverage of the morph and booklog-switch state
+//! machines.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::layout::{line_of, CACHE_LINE};
+use crate::stats::FlushKind;
+use crate::thread::PmThread;
+
+/// Flight-recorder event code pmsan violations are emitted under.
+/// The allocator crate's `EventKind::PmsanViolation` must map to the
+/// same code (checked by a test there).
+pub const PMSAN_TRACE_CODE: u16 = 17;
+
+/// Max violations kept with full context (counters keep counting past it).
+const MAX_RECORDED: usize = 256;
+
+/// Up to this many flushed-pending lines per fence epoch, enumeration is
+/// exhaustive (`2^n` images); beyond it, the boundary subsets only.
+pub const MAX_EXHAUSTIVE_LINES: usize = 6;
+
+/// Violation taxonomy. See the module docs for definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PmsanKind {
+    /// Charged store to a line this thread flushed but has not fenced.
+    StoreUnfenced,
+    /// Fence with zero flushes pending on the fencing thread.
+    EmptyFence,
+    /// Small flush whose lines were all already persisted and unchanged.
+    RedundantFlush,
+    /// Line still unpersisted at the shutdown audit.
+    ShutdownDirty,
+}
+
+impl PmsanKind {
+    /// All kinds, in counter-index order.
+    pub const ALL: [PmsanKind; 4] = [
+        PmsanKind::StoreUnfenced,
+        PmsanKind::EmptyFence,
+        PmsanKind::RedundantFlush,
+        PmsanKind::ShutdownDirty,
+    ];
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            PmsanKind::StoreUnfenced => 0,
+            PmsanKind::EmptyFence => 1,
+            PmsanKind::RedundantFlush => 2,
+            PmsanKind::ShutdownDirty => 3,
+        }
+    }
+
+    /// Stable snake_case label (JSON report, test assertions).
+    pub fn label(self) -> &'static str {
+        match self {
+            PmsanKind::StoreUnfenced => "store_unfenced",
+            PmsanKind::EmptyFence => "empty_fence",
+            PmsanKind::RedundantFlush => "redundant_flush",
+            PmsanKind::ShutdownDirty => "shutdown_dirty",
+        }
+    }
+}
+
+/// One recorded violation, with the context the flight recorder sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmsanViolation {
+    /// What rule was broken.
+    pub kind: PmsanKind,
+    /// Pool byte offset of the offending line (0 for `EmptyFence`,
+    /// whose subject is the fence itself).
+    pub line: u64,
+    /// Registered id of the thread the violation was detected on.
+    pub thread: usize,
+    /// That thread's virtual-clock nanoseconds at detection.
+    pub ns: u64,
+    /// pmsan-global detection sequence number (total order).
+    pub seq: u64,
+    /// Flush classification, when the violating op was a flush.
+    pub flush: Option<FlushKind>,
+}
+
+/// Aggregated violation state: per-kind totals plus the recorded list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PmsanReport {
+    /// Per-kind totals, indexed like [`PmsanKind::ALL`].
+    pub counts: [u64; 4],
+    /// First [`MAX_RECORDED`] violations with full context.
+    pub violations: Vec<PmsanViolation>,
+}
+
+impl PmsanReport {
+    /// Total violations across all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Count for one kind.
+    pub fn count(&self, kind: PmsanKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Machine-readable report (no external deps; keys are stable).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.violations.len() * 96);
+        s.push_str("{\"pmsan\":{\"total\":");
+        s.push_str(&self.total().to_string());
+        for (i, k) in PmsanKind::ALL.iter().enumerate() {
+            s.push_str(",\"");
+            s.push_str(k.label());
+            s.push_str("\":");
+            s.push_str(&self.counts[i].to_string());
+        }
+        s.push_str(",\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"kind\":\"");
+            s.push_str(v.kind.label());
+            s.push_str("\",\"line\":");
+            s.push_str(&v.line.to_string());
+            s.push_str(",\"thread\":");
+            s.push_str(&v.thread.to_string());
+            s.push_str(",\"ns\":");
+            s.push_str(&v.ns.to_string());
+            s.push_str(",\"seq\":");
+            s.push_str(&v.seq.to_string());
+            if let Some(f) = v.flush {
+                s.push_str(",\"flush\":\"");
+                s.push_str(f.label());
+                s.push('"');
+            }
+            s.push('}');
+        }
+        s.push_str("]}}");
+        s
+    }
+}
+
+/// Undo log of one marked window: per fence epoch, the lines flushed in
+/// that epoch with their pre-epoch persistent contents. Produced by
+/// [`crate::PmemPool::pmsan_window_end`], consumed by
+/// [`crate::PmemPool::pmsan_window_images`].
+#[derive(Debug, Clone)]
+pub struct PmsanWindow {
+    /// One entry per fence, oldest first: the epoch's first-flush undo
+    /// records `(line offset, pre-epoch shadow words)`.
+    pub(crate) fences: Vec<Vec<(u64, [u64; 8])>>,
+    /// Flushes after the last fence (still pending at window end).
+    pub(crate) tail: Vec<(u64, [u64; 8])>,
+    /// True when the per-window line cap was hit (coverage incomplete).
+    pub(crate) truncated: bool,
+}
+
+impl PmsanWindow {
+    /// Number of fences observed inside the window.
+    pub fn fence_count(&self) -> usize {
+        self.fences.len()
+    }
+
+    /// True when the undo log overflowed and enumeration is partial.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+}
+
+/// Bound on undo-log lines per window (memory guard; ~ 72 B each).
+const MAX_WINDOW_LINES: usize = 1 << 16;
+
+#[derive(Debug, Default)]
+struct WindowState {
+    epoch: Vec<(u64, [u64; 8])>,
+    fences: Vec<Vec<(u64, [u64; 8])>>,
+    lines: usize,
+    truncated: bool,
+}
+
+/// Shared sanitizer state hung off the pool (one per pool, gated by
+/// [`crate::PmemConfig::pmsan`]).
+#[derive(Debug)]
+pub(crate) struct PmsanState {
+    /// Per-line cell: `gen_stored << 32 | gen_persisted` (wrapping u32s;
+    /// the line is persisted iff the halves are equal).
+    cells: Box<[AtomicU64]>,
+    seq: AtomicU64,
+    counts: [AtomicU64; 4],
+    list: Mutex<Vec<PmsanViolation>>,
+    window_active: AtomicBool,
+    window: Mutex<Option<WindowState>>,
+}
+
+#[inline]
+fn stored(cell: u64) -> u32 {
+    (cell >> 32) as u32
+}
+
+#[inline]
+fn persisted(cell: u64) -> u32 {
+    cell as u32
+}
+
+impl PmsanState {
+    pub(crate) fn new(pool_bytes: usize) -> PmsanState {
+        let nlines = pool_bytes / CACHE_LINE;
+        let mut v = Vec::with_capacity(nlines);
+        v.resize_with(nlines, || AtomicU64::new(0));
+        PmsanState {
+            cells: v.into_boxed_slice(),
+            seq: AtomicU64::new(0),
+            counts: Default::default(),
+            list: Mutex::new(Vec::new()),
+            window_active: AtomicBool::new(false),
+            window: Mutex::new(None),
+        }
+    }
+
+    #[inline]
+    fn cell(&self, line: u64) -> &AtomicU64 {
+        &self.cells[line as usize / CACHE_LINE]
+    }
+
+    /// A store touched `[off, off+len)`: bump every covered line's
+    /// stored generation.
+    #[inline]
+    pub(crate) fn note_store(&self, off: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let mut line = line_of(off);
+        let last = line_of(off + len as u64 - 1);
+        while line <= last {
+            self.cell(line).fetch_add(1 << 32, Ordering::Relaxed);
+            line += CACHE_LINE as u64;
+        }
+    }
+
+    /// `charge_store` hook: persistence paths charge right after their
+    /// stores, giving us thread identity the raw store lacked. A charged
+    /// store into a line this thread flushed — where the store moved the
+    /// generation past what that flush captured — is a dependent store
+    /// issued before the ordering fence.
+    pub(crate) fn on_charge(&self, t: &mut PmThread, off: u64, len: usize) {
+        if t.pmsan_pending.is_empty() || len == 0 {
+            return;
+        }
+        let first = line_of(off);
+        let last = line_of(off + len as u64 - 1);
+        // Iterate the (short) pending list, not the line range: charges
+        // can cover many lines, pending rarely holds more than a few.
+        for i in 0..t.pmsan_pending.len() {
+            let (line, gen) = t.pmsan_pending[i];
+            if line < first || line > last {
+                continue;
+            }
+            if stored(self.cell(line).load(Ordering::Relaxed)) != gen {
+                self.record(t, PmsanKind::StoreUnfenced, line, None);
+            }
+        }
+    }
+
+    /// Call-level flush hook, before the per-line work: flag
+    /// metadata-granularity flushes whose lines are all already persisted
+    /// and untouched.
+    pub(crate) fn on_flush_call(&self, t: &mut PmThread, first: u64, last: u64, kind: FlushKind) {
+        let nlines = ((last - first) / CACHE_LINE as u64 + 1) as usize;
+        if nlines <= 2 {
+            let mut clean = true;
+            let mut line = first;
+            while line <= last {
+                let c = self.cell(line).load(Ordering::Relaxed);
+                if stored(c) != persisted(c) {
+                    clean = false;
+                    break;
+                }
+                line += CACHE_LINE as u64;
+            }
+            if clean {
+                self.record(t, PmsanKind::RedundantFlush, first, Some(kind));
+            }
+        }
+    }
+
+    /// Per-line flush hook: remember (per thread) what generation this
+    /// flush captured, so the fence knows what it is committing.
+    #[inline]
+    pub(crate) fn on_flush_line(&self, t: &mut PmThread, line: u64) {
+        let gen = stored(self.cell(line).load(Ordering::Relaxed));
+        if let Some(e) = t.pmsan_pending.iter_mut().find(|e| e.0 == line) {
+            e.1 = gen;
+        } else {
+            t.pmsan_pending.push((line, gen));
+        }
+    }
+
+    /// Pre-shadow-copy window hook: record the line's pre-epoch
+    /// persistent content (first flush of the line per epoch wins).
+    pub(crate) fn window_note(&self, line: u64, old: [u64; 8]) {
+        let mut guard = self.window.lock();
+        if let Some(w) = guard.as_mut() {
+            if w.epoch.iter().any(|e| e.0 == line) {
+                return;
+            }
+            if w.lines >= MAX_WINDOW_LINES {
+                w.truncated = true;
+                return;
+            }
+            w.lines += 1;
+            w.epoch.push((line, old));
+        }
+    }
+
+    #[inline]
+    pub(crate) fn window_active(&self) -> bool {
+        self.window_active.load(Ordering::Relaxed)
+    }
+
+    /// Fence hook: commit the thread's pending flushes (raise each
+    /// line's persisted generation to what the flush captured), close
+    /// the window epoch, and flag empty fences.
+    pub(crate) fn on_fence(&self, t: &mut PmThread) {
+        if t.pmsan_pending.is_empty() {
+            self.record(t, PmsanKind::EmptyFence, 0, None);
+        } else {
+            for i in 0..t.pmsan_pending.len() {
+                let (line, gen) = t.pmsan_pending[i];
+                let cell = self.cell(line);
+                let mut cur = cell.load(Ordering::Relaxed);
+                // Raise persisted to `gen`; never lower it (another
+                // thread's fence may have committed a newer flush).
+                loop {
+                    if (persisted(cur).wrapping_sub(gen) as i32) >= 0 {
+                        break;
+                    }
+                    let new = (cur & !0xFFFF_FFFF) | gen as u64;
+                    match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+                    {
+                        Ok(_) => break,
+                        Err(c) => cur = c,
+                    }
+                }
+            }
+            t.pmsan_pending.clear();
+        }
+        if self.window_active() {
+            let mut guard = self.window.lock();
+            if let Some(w) = guard.as_mut() {
+                if !w.epoch.is_empty() {
+                    let epoch = std::mem::take(&mut w.epoch);
+                    w.fences.push(epoch);
+                }
+            }
+        }
+    }
+
+    /// True when every store to the line has been flushed *and* fenced.
+    pub(crate) fn line_persisted(&self, line: u64) -> bool {
+        let c = self.cell(line).load(Ordering::Relaxed);
+        stored(c) == persisted(c)
+    }
+
+    /// Mark `[off, off+len)` persisted without touching the model: used
+    /// for states already durable by construction (a fresh pool's zero
+    /// fill re-stores bytes the zeroed backing file already holds).
+    pub(crate) fn mark_persisted(&self, off: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let mut line = line_of(off);
+        let last = line_of(off + len as u64 - 1);
+        while line <= last {
+            let cell = self.cell(line);
+            let mut cur = cell.load(Ordering::Relaxed);
+            loop {
+                let new = (cur & !0xFFFF_FFFF) | stored(cur) as u64;
+                match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(c) => cur = c,
+                }
+            }
+            line += CACHE_LINE as u64;
+        }
+    }
+
+    /// Record one violation: bump the counter, keep context for the
+    /// first [`MAX_RECORDED`], and mirror into the flight recorder.
+    pub(crate) fn record(
+        &self,
+        t: &PmThread,
+        kind: PmsanKind,
+        line: u64,
+        flush: Option<FlushKind>,
+    ) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+        t.trace(PMSAN_TRACE_CODE, line, kind.index() as u64);
+        let v = PmsanViolation { kind, line, thread: t.id(), ns: t.virtual_ns(), seq, flush };
+        let mut list = self.list.lock();
+        if list.len() < MAX_RECORDED {
+            list.push(v);
+        }
+    }
+
+    pub(crate) fn report(&self) -> PmsanReport {
+        let counts = [
+            self.counts[0].load(Ordering::Relaxed),
+            self.counts[1].load(Ordering::Relaxed),
+            self.counts[2].load(Ordering::Relaxed),
+            self.counts[3].load(Ordering::Relaxed),
+        ];
+        PmsanReport { counts, violations: self.list.lock().clone() }
+    }
+
+    pub(crate) fn window_begin(&self) {
+        let mut guard = self.window.lock();
+        *guard = Some(WindowState::default());
+        self.window_active.store(true, Ordering::Relaxed);
+    }
+
+    pub(crate) fn window_end(&self) -> PmsanWindow {
+        self.window_active.store(false, Ordering::Relaxed);
+        let state = self.window.lock().take().unwrap_or_default();
+        PmsanWindow { fences: state.fences, tail: state.epoch, truncated: state.truncated }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(PmsanKind::StoreUnfenced.label(), "store_unfenced");
+        assert_eq!(PmsanKind::ALL.len(), 4);
+        for (i, k) in PmsanKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let r = PmsanReport {
+            counts: [1, 0, 2, 0],
+            violations: vec![PmsanViolation {
+                kind: PmsanKind::RedundantFlush,
+                line: 128,
+                thread: 3,
+                ns: 42,
+                seq: 0,
+                flush: Some(FlushKind::Meta),
+            }],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"total\":3"), "{j}");
+        assert!(j.contains("\"store_unfenced\":1"), "{j}");
+        assert!(j.contains("\"redundant_flush\":2"), "{j}");
+        assert!(j.contains("\"flush\":\"meta\""), "{j}");
+    }
+
+    #[test]
+    fn mark_persisted_clears_dirty_state() {
+        let s = PmsanState::new(4096);
+        s.note_store(0, 200);
+        assert!(!s.line_persisted(0));
+        assert!(!s.line_persisted(192));
+        s.mark_persisted(0, 200);
+        assert!(s.line_persisted(0));
+        assert!(s.line_persisted(192));
+    }
+}

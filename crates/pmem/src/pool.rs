@@ -23,6 +23,7 @@ use std::sync::Arc;
 use crate::error::{PmError, PmResult};
 use crate::layout::{line_of, CACHE_LINE};
 use crate::model::{LatencyModel, ModelParams};
+use crate::pmsan::{PmsanKind, PmsanReport, PmsanState, PmsanWindow, MAX_EXHAUSTIVE_LINES};
 use crate::stats::{FlushKind, PmemStats};
 use crate::thread::PmThread;
 use crate::{LatencyMode, PmemMode};
@@ -52,6 +53,7 @@ pub struct PmemConfig {
     params: ModelParams,
     crash_tracking: bool,
     trace_capacity: usize,
+    pmsan: bool,
 }
 
 impl Default for PmemConfig {
@@ -63,6 +65,7 @@ impl Default for PmemConfig {
             params: ModelParams::default(),
             crash_tracking: false,
             trace_capacity: 1 << 17,
+            pmsan: false,
         }
     }
 }
@@ -105,6 +108,20 @@ impl PmemConfig {
         self.trace_capacity = records;
         self
     }
+
+    /// Enable the persist-ordering sanitizer (see [`crate::pmsan`]).
+    /// Observational only: it never touches the latency model, so
+    /// modelled measurements are identical with it on or off. Costs one
+    /// atomic per 64 B line of shadow state plus per-op bookkeeping.
+    pub fn pmsan(mut self, enabled: bool) -> Self {
+        self.pmsan = enabled;
+        self
+    }
+
+    /// Whether the persist-ordering sanitizer is enabled.
+    pub fn pmsan_enabled(&self) -> bool {
+        self.pmsan
+    }
 }
 
 /// The flushed-only bytes surviving a simulated power failure.
@@ -140,6 +157,8 @@ pub struct PmemPool {
     /// Remaining line-flushes that still reach the persistent image
     /// (crash-injection hook; `i64::MAX` = unlimited).
     persist_budget: AtomicI64,
+    /// Persist-ordering sanitizer state ([`PmemConfig::pmsan`]).
+    pmsan: Option<PmsanState>,
 }
 
 fn alloc_words(n: usize) -> Box<[AtomicU64]> {
@@ -163,6 +182,7 @@ impl PmemPool {
             model: LatencyModel::new(config.params.clone(), config.latency_mode, config.pmem_mode),
             stats: PmemStats::new(config.trace_capacity),
             next_thread: AtomicUsize::new(0),
+            pmsan: config.pmsan.then(|| PmsanState::new(size)),
             config,
             persist_budget: AtomicI64::new(i64::MAX),
         })
@@ -192,6 +212,9 @@ impl PmemPool {
             model: LatencyModel::new(config.params.clone(), config.latency_mode, config.pmem_mode),
             stats: PmemStats::new(config.trace_capacity),
             next_thread: AtomicUsize::new(0),
+            // Fresh sanitizer state: the image's contents are the
+            // already-durable baseline, i.e. every line starts persisted.
+            pmsan: config.pmsan.then(|| PmsanState::new(nwords * 8)),
             config,
             persist_budget: AtomicI64::new(i64::MAX),
         })
@@ -288,6 +311,14 @@ impl PmemPool {
 
     // ----- writes -----
 
+    /// pmsan store hook: mark every line of `[off, off+len)` dirty.
+    #[inline]
+    fn san_store(&self, off: PmOffset, len: usize) {
+        if let Some(s) = &self.pmsan {
+            s.note_store(off, len);
+        }
+    }
+
     /// Write an aligned `u64`, charging the store model (eADR).
     ///
     /// # Panics
@@ -296,6 +327,7 @@ impl PmemPool {
     pub fn write_u64(&self, off: PmOffset, value: u64) {
         self.bounds_panic(off, 8);
         assert_eq!(off % 8, 0, "unaligned u64 write at {off:#x}");
+        self.san_store(off, 8);
         self.words[off as usize / 8].store(value, Ordering::Release);
     }
 
@@ -304,6 +336,7 @@ impl PmemPool {
     pub fn write_u32(&self, off: PmOffset, value: u32) {
         self.bounds_panic(off, 4);
         assert_eq!(off % 4, 0, "unaligned u32 write at {off:#x}");
+        self.san_store(off, 4);
         self.rmw_word(off, 4, value as u64);
     }
 
@@ -312,6 +345,7 @@ impl PmemPool {
     pub fn write_u16(&self, off: PmOffset, value: u16) {
         self.bounds_panic(off, 2);
         assert_eq!(off % 2, 0, "unaligned u16 write at {off:#x}");
+        self.san_store(off, 2);
         self.rmw_word(off, 2, value as u64);
     }
 
@@ -319,6 +353,7 @@ impl PmemPool {
     #[inline]
     pub fn write_u8(&self, off: PmOffset, value: u8) {
         self.bounds_panic(off, 1);
+        self.san_store(off, 1);
         self.rmw_word(off, 1, value as u64);
     }
 
@@ -340,6 +375,7 @@ impl PmemPool {
     /// Write `src` starting at `off`.
     pub fn write_bytes(&self, off: PmOffset, src: &[u8]) {
         self.bounds_panic(off, src.len());
+        self.san_store(off, src.len());
         let mut i = 0usize;
         // Leading partial word.
         while i < src.len() && !(off + i as u64).is_multiple_of(8) {
@@ -362,6 +398,7 @@ impl PmemPool {
     /// Fill `len` bytes at `off` with `byte`.
     pub fn fill_bytes(&self, off: PmOffset, len: usize, byte: u8) {
         self.bounds_panic(off, len);
+        self.san_store(off, len);
         let word = u64::from_le_bytes([byte; 8]);
         let mut i = 0usize;
         while i < len && !(off + i as u64).is_multiple_of(8) {
@@ -384,6 +421,7 @@ impl PmemPool {
     pub fn fetch_or_u64(&self, off: PmOffset, bits: u64) -> u64 {
         self.bounds_panic(off, 8);
         assert_eq!(off % 8, 0);
+        self.san_store(off, 8);
         self.words[off as usize / 8].fetch_or(bits, Ordering::AcqRel)
     }
 
@@ -393,6 +431,7 @@ impl PmemPool {
     pub fn fetch_and_u64(&self, off: PmOffset, bits: u64) -> u64 {
         self.bounds_panic(off, 8);
         assert_eq!(off % 8, 0);
+        self.san_store(off, 8);
         self.words[off as usize / 8].fetch_and(bits, Ordering::AcqRel)
     }
 
@@ -404,12 +443,16 @@ impl PmemPool {
     pub fn compare_exchange_u64(&self, off: PmOffset, expected: u64, new: u64) -> Result<u64, u64> {
         self.bounds_panic(off, 8);
         assert_eq!(off % 8, 0);
-        self.words[off as usize / 8].compare_exchange(
+        let r = self.words[off as usize / 8].compare_exchange(
             expected,
             new,
             Ordering::AcqRel,
             Ordering::Acquire,
-        )
+        );
+        if r.is_ok() {
+            self.san_store(off, 8);
+        }
+        r
     }
 
     // ----- persistence -----
@@ -421,6 +464,9 @@ impl PmemPool {
     /// initialisation and volatile scratch writes do not distort the model.
     #[inline]
     pub fn charge_store(&self, thread: &mut PmThread, off: PmOffset, len: usize) {
+        if let Some(s) = &self.pmsan {
+            s.on_charge(thread, off, len);
+        }
         self.model.store(thread, off, len);
     }
 
@@ -430,12 +476,45 @@ impl PmemPool {
     /// charges each line. With crash tracking on, copies the lines into the
     /// persistent image.
     pub fn flush(&self, thread: &mut PmThread, off: PmOffset, len: usize, kind: FlushKind) {
+        self.flush_impl(thread, off, len, kind, true);
+    }
+
+    /// [`PmemPool::flush`], declared as a *writeback sweep*: a flush of a
+    /// range that may legitimately already be persisted (shutdown
+    /// writeback, belt-and-braces sweeps before an audit). Identical
+    /// cost model and crash semantics; the only difference is that the
+    /// pmsan redundant-flush check is skipped, which for small targeted
+    /// flushes would otherwise flag re-flushing clean lines.
+    pub fn flush_writeback(
+        &self,
+        thread: &mut PmThread,
+        off: PmOffset,
+        len: usize,
+        kind: FlushKind,
+    ) {
+        self.flush_impl(thread, off, len, kind, false);
+    }
+
+    fn flush_impl(
+        &self,
+        thread: &mut PmThread,
+        off: PmOffset,
+        len: usize,
+        kind: FlushKind,
+        check_redundant: bool,
+    ) {
         if len == 0 {
             return;
         }
         self.bounds_panic(off, len);
+        thread.flushed_since_fence = thread.flushed_since_fence.saturating_add(1);
         let first = line_of(off);
         let last = line_of(off + len as u64 - 1);
+        if check_redundant {
+            if let Some(s) = &self.pmsan {
+                s.on_flush_call(thread, first, last, kind);
+            }
+        }
         let mut line = first;
         while line <= last {
             let outcome = self.model.flush_line(thread, line);
@@ -456,11 +535,25 @@ impl PmemPool {
                 // in-flight state a power failure at that flush leaves.
                 if self.persist_budget.fetch_sub(1, Ordering::Relaxed) > 0 {
                     let w0 = line as usize / 8;
+                    if let Some(s) = &self.pmsan {
+                        // Window undo log: capture the line's pre-flush
+                        // persistent content before overwriting it.
+                        if s.window_active() {
+                            let mut old = [0u64; 8];
+                            for (i, o) in old.iter_mut().enumerate() {
+                                *o = shadow[w0 + i].load(Ordering::Acquire);
+                            }
+                            s.window_note(line, old);
+                        }
+                    }
                     for i in 0..CACHE_LINE / 8 {
                         shadow[w0 + i]
                             .store(self.words[w0 + i].load(Ordering::Acquire), Ordering::Release);
                     }
                 }
+            }
+            if let Some(s) = &self.pmsan {
+                s.on_flush_line(thread, line);
             }
             line += CACHE_LINE as u64;
         }
@@ -468,8 +561,22 @@ impl PmemPool {
 
     /// Store fence (sfence-equivalent): orders prior flushes.
     pub fn fence(&self, thread: &mut PmThread) {
+        if let Some(s) = &self.pmsan {
+            s.on_fence(thread);
+        }
+        thread.flushed_since_fence = 0;
         self.model.fence(thread);
         self.stats.record_fence();
+    }
+
+    /// Fence only if this thread has flushes pending since its last
+    /// fence — the explicit-ordering form for code that flushes
+    /// conditionally (quiesce, shutdown sweeps) and must not issue
+    /// fences that order nothing.
+    pub fn fence_pending(&self, thread: &mut PmThread) {
+        if thread.flushed_since_fence > 0 {
+            self.fence(thread);
+        }
     }
 
     /// Convenience: write an aligned `u64` and flush+fence it (the classic
@@ -528,6 +635,173 @@ impl PmemPool {
     pub fn clean_shutdown_image(&self) -> CrashImage {
         let words = self.words.iter().map(|w| w.load(Ordering::Acquire)).collect();
         CrashImage { words, config: self.config.clone() }
+    }
+
+    // ----- pmsan: persist-ordering sanitizer (see `crate::pmsan`) -----
+
+    /// True when the pool carries sanitizer state
+    /// ([`PmemConfig::pmsan`]).
+    pub fn pmsan_enabled(&self) -> bool {
+        self.pmsan.is_some()
+    }
+
+    /// Total violations recorded so far (0 when the sanitizer is off).
+    pub fn pmsan_total(&self) -> u64 {
+        self.pmsan.as_ref().map_or(0, |s| s.report().total())
+    }
+
+    /// Snapshot of the violation counters and recorded contexts.
+    pub fn pmsan_report(&self) -> Option<PmsanReport> {
+        self.pmsan.as_ref().map(|s| s.report())
+    }
+
+    /// Per-kind violation counters, indexed like
+    /// [`crate::pmsan::PmsanKind::ALL`].
+    pub fn pmsan_counts(&self) -> Option<[u64; 4]> {
+        self.pmsan.as_ref().map(|s| s.report().counts)
+    }
+
+    /// True when every store to the line holding `off` has been flushed
+    /// and fenced (trivially true with the sanitizer off).
+    pub fn pmsan_line_persisted(&self, off: PmOffset) -> bool {
+        self.pmsan.as_ref().is_none_or(|s| s.line_persisted(line_of(off)))
+    }
+
+    /// Mark `[off, off+len)` persisted without touching the model. For
+    /// states durable by construction only — e.g. a fresh pool's
+    /// metadata zero-fill re-stores bytes the zeroed backing file
+    /// already holds, so no flush is owed for them.
+    pub fn pmsan_mark_persisted(&self, off: PmOffset, len: usize) {
+        if let Some(s) = &self.pmsan {
+            self.bounds_panic(off, len);
+            s.mark_persisted(off, len);
+        }
+    }
+
+    /// Shutdown audit: record a [`PmsanKind::ShutdownDirty`] violation
+    /// for every line in `[off, off+len)` that is still unpersisted.
+    /// Returns how many were found (0 when the sanitizer is off).
+    pub fn pmsan_audit_range(&self, thread: &PmThread, off: PmOffset, len: usize) -> usize {
+        let Some(s) = &self.pmsan else { return 0 };
+        if len == 0 {
+            return 0;
+        }
+        self.bounds_panic(off, len);
+        let mut dirty = 0;
+        let mut line = line_of(off);
+        let last = line_of(off + len as u64 - 1);
+        while line <= last {
+            if !s.line_persisted(line) {
+                s.record(thread, PmsanKind::ShutdownDirty, line, None);
+                dirty += 1;
+            }
+            line += CACHE_LINE as u64;
+        }
+        dirty
+    }
+
+    /// Start recording a crash-image enumeration window. Requires the
+    /// sanitizer *and* crash tracking (the undo log is relative to the
+    /// shadow persistent image).
+    ///
+    /// # Panics
+    /// Panics unless both [`PmemConfig::pmsan`] and
+    /// [`PmemConfig::crash_tracking`] are enabled.
+    pub fn pmsan_window_begin(&self) {
+        assert!(self.shadow.is_some(), "pmsan windows require crash_tracking");
+        self.pmsan.as_ref().expect("pmsan windows require PmemConfig::pmsan").window_begin();
+    }
+
+    /// Close the window and return its undo log for
+    /// [`PmemPool::pmsan_window_images`].
+    pub fn pmsan_window_end(&self) -> PmsanWindow {
+        self.pmsan.as_ref().expect("pmsan windows require PmemConfig::pmsan").window_end()
+    }
+
+    /// Enumerate every distinct legal crash image at each fence inside
+    /// `window`, oldest fence last: the persisted image at that fence
+    /// plus each subset of the fence's flushed-pending lines (exhaustive
+    /// up to [`crate::pmsan::MAX_EXHAUSTIVE_LINES`] pending lines per
+    /// fence, the empty/full/each-single-omitted boundary subsets
+    /// beyond), de-duplicated, capped at `max_images`.
+    pub fn pmsan_window_images(&self, window: &PmsanWindow, max_images: usize) -> Vec<CrashImage> {
+        let shadow = self.shadow.as_ref().expect("pmsan_window_images requires crash_tracking");
+        let mut cur: Vec<u64> = shadow.iter().map(|w| w.load(Ordering::Acquire)).collect();
+        // Roll back the unfenced tail first: those flushes are applied
+        // in the shadow but not yet committed by any fence.
+        revert_epoch(&mut cur, &window.tail);
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        // Walk fences newest→oldest; `cur` is the all-pending-applied
+        // image at the fence under inspection.
+        for epoch in window.fences.iter().rev() {
+            let n = epoch.len();
+            if n <= MAX_EXHAUSTIVE_LINES {
+                for mask in 0..(1u64 << n) {
+                    let mut img = cur.clone();
+                    for (i, (line, old)) in epoch.iter().enumerate() {
+                        if mask & (1 << i) == 0 {
+                            revert_line(&mut img, *line, old);
+                        }
+                    }
+                    push_image(&mut out, &mut seen, img, &self.config, max_images);
+                }
+            } else {
+                // Boundary subsets: all pending persisted, none, and
+                // each single line omitted.
+                push_image(&mut out, &mut seen, cur.clone(), &self.config, max_images);
+                let mut none = cur.clone();
+                revert_epoch(&mut none, epoch);
+                push_image(&mut out, &mut seen, none, &self.config, max_images);
+                for (line, old) in epoch {
+                    let mut img = cur.clone();
+                    revert_line(&mut img, *line, old);
+                    push_image(&mut out, &mut seen, img, &self.config, max_images);
+                }
+            }
+            if out.len() >= max_images {
+                break;
+            }
+            // Unwind this epoch to position `cur` at the previous fence.
+            revert_epoch(&mut cur, epoch);
+        }
+        out
+    }
+}
+
+/// Overwrite one 64 B line of `words` with its recorded old content.
+fn revert_line(words: &mut [u64], line: u64, old: &[u64; 8]) {
+    let w0 = line as usize / 8;
+    words[w0..w0 + 8].copy_from_slice(old);
+}
+
+/// Revert every line of an epoch (first-flush old contents).
+fn revert_epoch(words: &mut [u64], epoch: &[(u64, [u64; 8])]) {
+    for (line, old) in epoch {
+        revert_line(words, *line, old);
+    }
+}
+
+/// Append `img` as a [`CrashImage`] unless an identical image was
+/// already emitted or the cap is reached.
+fn push_image(
+    out: &mut Vec<CrashImage>,
+    seen: &mut std::collections::HashSet<u64>,
+    img: Vec<u64>,
+    config: &PmemConfig,
+    max_images: usize,
+) {
+    if out.len() >= max_images {
+        return;
+    }
+    // FNV-1a over the words: cheap content identity for de-duplication.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in &img {
+        h ^= *w;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    if seen.insert(h) {
+        out.push(CrashImage { words: img, config: config.clone() });
     }
 }
 
@@ -788,5 +1062,210 @@ mod proptests {
                 prop_assert_eq!(img.read_u64(l * 64), expect, "line {}", l);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod pmsan_tests {
+    use super::*;
+    use crate::pmsan::PmsanKind;
+
+    fn san_pool() -> Arc<PmemPool> {
+        PmemPool::new(
+            PmemConfig::default()
+                .pool_size(1 << 16)
+                .latency_mode(LatencyMode::Off)
+                .crash_tracking(true)
+                .pmsan(true),
+        )
+    }
+
+    #[test]
+    fn clean_persist_sequence_has_no_violations() {
+        let p = san_pool();
+        let mut t = p.register_thread();
+        for i in 0..16u64 {
+            p.persist_u64(&mut t, i * 64, i + 1, FlushKind::Meta);
+        }
+        assert_eq!(p.pmsan_total(), 0, "{}", p.pmsan_report().unwrap().to_json());
+        assert!(p.pmsan_line_persisted(0));
+    }
+
+    #[test]
+    fn store_over_unfenced_flush_is_flagged() {
+        let p = san_pool();
+        let mut t = p.register_thread();
+        p.write_u64(64, 1);
+        p.charge_store(&mut t, 64, 8);
+        p.flush(&mut t, 64, 8, FlushKind::Meta);
+        // No fence: the dependent store below races the flush to the media.
+        p.write_u64(72, 2);
+        p.charge_store(&mut t, 72, 8);
+        let r = p.pmsan_report().unwrap();
+        assert_eq!(r.count(PmsanKind::StoreUnfenced), 1, "{}", r.to_json());
+        assert_eq!(r.violations[0].line, 64);
+    }
+
+    #[test]
+    fn fence_after_flush_clears_pending() {
+        let p = san_pool();
+        let mut t = p.register_thread();
+        p.write_u64(64, 1);
+        p.charge_store(&mut t, 64, 8);
+        p.flush(&mut t, 64, 8, FlushKind::Meta);
+        p.fence(&mut t);
+        // Same-line store after the fence is a fresh epoch, not a violation.
+        p.write_u64(72, 2);
+        p.charge_store(&mut t, 72, 8);
+        p.flush(&mut t, 72, 8, FlushKind::Meta);
+        p.fence(&mut t);
+        assert_eq!(p.pmsan_total(), 0);
+    }
+
+    #[test]
+    fn empty_fence_is_flagged_and_fence_pending_is_not() {
+        let p = san_pool();
+        let mut t = p.register_thread();
+        p.fence(&mut t);
+        assert_eq!(p.pmsan_report().unwrap().count(PmsanKind::EmptyFence), 1);
+        // fence_pending with nothing flushed is a no-op, not a violation.
+        p.fence_pending(&mut t);
+        assert_eq!(p.pmsan_report().unwrap().count(PmsanKind::EmptyFence), 1);
+        p.write_u64(0, 9);
+        p.charge_store(&mut t, 0, 8);
+        p.flush(&mut t, 0, 8, FlushKind::Meta);
+        p.fence_pending(&mut t);
+        assert_eq!(p.pmsan_total(), 1);
+        assert!(p.pmsan_line_persisted(0));
+    }
+
+    #[test]
+    fn redundant_flush_of_clean_line_is_flagged() {
+        let p = san_pool();
+        let mut t = p.register_thread();
+        p.persist_u64(&mut t, 128, 7, FlushKind::Meta);
+        assert_eq!(p.pmsan_total(), 0);
+        // Line 128 is persisted; flushing it again orders nothing.
+        p.flush(&mut t, 128, 8, FlushKind::Meta);
+        p.fence(&mut t);
+        let r = p.pmsan_report().unwrap();
+        assert_eq!(r.count(PmsanKind::RedundantFlush), 1, "{}", r.to_json());
+    }
+
+    #[test]
+    fn cross_thread_same_line_flushes_are_benign() {
+        let p = san_pool();
+        let mut t1 = p.register_thread();
+        let mut t2 = p.register_thread();
+        // Both threads store+flush disjoint words of one line; each fences
+        // its own flush. Neither owns the other's pending entry.
+        p.write_u64(64, 1);
+        p.charge_store(&mut t1, 64, 8);
+        p.flush(&mut t1, 64, 8, FlushKind::Meta);
+        p.write_u64(72, 2);
+        p.charge_store(&mut t2, 72, 8);
+        p.flush(&mut t2, 72, 8, FlushKind::Meta);
+        p.fence(&mut t1);
+        p.fence(&mut t2);
+        assert_eq!(p.pmsan_total(), 0, "{}", p.pmsan_report().unwrap().to_json());
+    }
+
+    #[test]
+    fn shutdown_audit_counts_unpersisted_lines() {
+        let p = san_pool();
+        let mut t = p.register_thread();
+        p.persist_u64(&mut t, 0, 1, FlushKind::Meta);
+        p.write_u64(64, 2); // dirty, never flushed
+        p.write_u64(128, 3);
+        p.charge_store(&mut t, 128, 8);
+        p.flush(&mut t, 128, 8, FlushKind::Meta); // flushed, never fenced
+        let dirty = p.pmsan_audit_range(&t, 0, 3 * 64);
+        assert_eq!(dirty, 2);
+        let r = p.pmsan_report().unwrap();
+        assert_eq!(r.count(PmsanKind::ShutdownDirty), 2);
+    }
+
+    #[test]
+    fn mark_persisted_silences_audit() {
+        let p = san_pool();
+        let t = p.register_thread();
+        p.fill_bytes(0, 256, 0);
+        p.pmsan_mark_persisted(0, 256);
+        assert_eq!(p.pmsan_audit_range(&t, 0, 256), 0);
+    }
+
+    #[test]
+    fn window_enumerates_per_fence_subsets() {
+        let p = san_pool();
+        let mut t = p.register_thread();
+        // Committed baseline.
+        p.persist_u64(&mut t, 0, 0xaa, FlushKind::Meta);
+        p.pmsan_window_begin();
+        // Fence 1: two pending lines -> 4 subsets.
+        p.write_u64(64, 1);
+        p.charge_store(&mut t, 64, 8);
+        p.write_u64(128, 2);
+        p.charge_store(&mut t, 128, 8);
+        p.flush(&mut t, 64, 8, FlushKind::Meta);
+        p.flush(&mut t, 128, 8, FlushKind::Meta);
+        p.fence(&mut t);
+        // Fence 2: one pending line -> 2 subsets.
+        p.write_u64(192, 3);
+        p.charge_store(&mut t, 192, 8);
+        p.flush(&mut t, 192, 8, FlushKind::Meta);
+        p.fence(&mut t);
+        let w = p.pmsan_window_end();
+        assert_eq!(w.fence_count(), 2);
+        assert!(!w.truncated());
+        let images = p.pmsan_window_images(&w, 64);
+        // Distinct images: at fence 2 {192 in, 192 out}; at fence 1 the four
+        // subsets of {64,128} with 192 rolled back — "all out" at fence 2
+        // equals "all in" at fence 1, so 2 + 4 - 1 = 5 distinct.
+        assert_eq!(images.len(), 5);
+        for img in images {
+            let ip = PmemPool::from_crash_image(img);
+            // The pre-window committed line survives in every image.
+            assert_eq!(ip.read_u64(0), 0xaa);
+            // Causality: line 192 persisted implies fence 1 completed.
+            if ip.read_u64(192) == 3 {
+                assert_eq!(ip.read_u64(64), 1);
+                assert_eq!(ip.read_u64(128), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn window_tail_flushes_are_not_committed() {
+        let p = san_pool();
+        let mut t = p.register_thread();
+        p.pmsan_window_begin();
+        p.write_u64(64, 1);
+        p.charge_store(&mut t, 64, 8);
+        p.flush(&mut t, 64, 8, FlushKind::Meta);
+        p.fence(&mut t);
+        // Flushed after the last fence: must not appear in any image.
+        p.write_u64(128, 2);
+        p.charge_store(&mut t, 128, 8);
+        p.flush(&mut t, 128, 8, FlushKind::Meta);
+        let w = p.pmsan_window_end();
+        let images = p.pmsan_window_images(&w, 16);
+        assert_eq!(images.len(), 2);
+        for img in images {
+            let ip = PmemPool::from_crash_image(img);
+            assert_eq!(ip.read_u64(128), 0, "tail flush leaked into an image");
+        }
+    }
+
+    #[test]
+    fn pmsan_off_accessors_are_inert() {
+        let p = PmemPool::new(PmemConfig::default().pool_size(4096).latency_mode(LatencyMode::Off));
+        let mut t = p.register_thread();
+        p.write_u64(0, 1);
+        p.fence(&mut t);
+        assert!(!p.pmsan_enabled());
+        assert_eq!(p.pmsan_total(), 0);
+        assert!(p.pmsan_report().is_none());
+        assert!(p.pmsan_line_persisted(0));
+        assert_eq!(p.pmsan_audit_range(&t, 0, 4096), 0);
     }
 }

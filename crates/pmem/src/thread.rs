@@ -22,11 +22,27 @@ pub struct PmThread {
     /// (sleeps are batched into quanta; see `LatencyModel::charge`).
     sleep_debt: u64,
     tracer: Option<TracerHandle>,
+    /// Flush calls issued since this thread's last fence (always
+    /// maintained; lets [`crate::PmemPool::fence_pending`] skip fences
+    /// that would order nothing).
+    pub(crate) flushed_since_fence: u32,
+    /// pmsan bookkeeping: lines this thread flushed since its last
+    /// fence, with the store generation each flush captured. Stays empty
+    /// when the pool's sanitizer is off.
+    pub(crate) pmsan_pending: Vec<(u64, u32)>,
 }
 
 impl PmThread {
     pub(crate) fn new(id: usize) -> Self {
-        PmThread { id, virtual_ns: 0, last_flush_addr: None, sleep_debt: 0, tracer: None }
+        PmThread {
+            id,
+            virtual_ns: 0,
+            last_flush_addr: None,
+            sleep_debt: 0,
+            tracer: None,
+            flushed_since_fence: 0,
+            pmsan_pending: Vec::new(),
+        }
     }
 
     /// Identifier assigned at registration (dense, starting at 0).

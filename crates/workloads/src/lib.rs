@@ -14,6 +14,7 @@
 //! nanoseconds its PM operations accrued on the virtual clock (see
 //! `nvalloc-pmem`). Throughput is `total_ops / max_thread_time`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dbmstest;
@@ -122,6 +123,12 @@ pub mod allocators {
                 }
                 _ => self.create_with_roots(pool, roots),
             }
+        }
+
+        /// True for the NVAlloc series (LOG/GC/custom): the allocators
+        /// whose persistence discipline the `--pmsan` sanitizer gates.
+        pub fn is_nvalloc(self) -> bool {
+            matches!(self, Which::NvallocLog | Which::NvallocGc | Which::NvallocCustom(_))
         }
 
         /// Display name matching the paper's figures.

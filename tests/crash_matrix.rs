@@ -2,6 +2,12 @@
 //! pool, crash after every N operations, recover, and verify the LOG
 //! variant's guarantees — committed state intact, no double-allocation,
 //! heap fully reusable.
+//!
+//! Every pool here also runs the persist-ordering sanitizer
+//! ([`nvalloc_pmem::pmsan`]): both the pre-crash trace and the recovery
+//! pass must be violation-free, so any ordering regression in the
+//! allocator's persistence paths fails this matrix even when the
+//! resulting image happens to recover correctly.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -17,7 +23,8 @@ fn run_until_crash(ops: usize, seed: u64) -> (Arc<PmemPool>, HashMap<usize, (u64
         PmemConfig::default()
             .pool_size(96 << 20)
             .latency_mode(LatencyMode::Off)
-            .crash_tracking(true),
+            .crash_tracking(true)
+            .pmsan(true),
     );
     let alloc = NvAllocator::create(Arc::clone(&pool), NvConfig::log()).unwrap();
     let mut t = alloc.thread();
@@ -52,7 +59,18 @@ fn audit_clean(img: &PmemPool, cfg: &NvConfig) {
     assert!(rep.clean(), "doctor violations after recovery: {:?}", rep.violations);
 }
 
+/// The sanitizer gate: `what` ran with zero persist-ordering violations.
+fn pmsan_clean(pool: &PmemPool, what: &str) {
+    assert_eq!(
+        pool.pmsan_total(),
+        0,
+        "{what} has persist-ordering violations: {}",
+        pool.pmsan_report().expect("pmsan pool").to_json()
+    );
+}
+
 fn verify_recovery(pool: Arc<PmemPool>, live: &HashMap<usize, (u64, usize)>) {
+    pmsan_clean(&pool, "pre-crash trace");
     let img = PmemPool::from_crash_image(pool.crash());
     let (alloc, report) = NvAllocator::recover(Arc::clone(&img), NvConfig::log()).expect("recover");
     assert!(!report.normal_shutdown);
@@ -80,6 +98,7 @@ fn verify_recovery(pool: Arc<PmemPool>, live: &HashMap<usize, (u64, usize)>) {
     for (i, a) in addrs.iter().enumerate() {
         assert_eq!(img.read_u64(*a), i as u64, "post-recovery block {i} clobbered");
     }
+    pmsan_clean(&img, "recovery + post-recovery churn");
 }
 
 #[test]
@@ -98,7 +117,8 @@ fn crash_with_multithreaded_history() {
         PmemConfig::default()
             .pool_size(128 << 20)
             .latency_mode(LatencyMode::Off)
-            .crash_tracking(true),
+            .crash_tracking(true)
+            .pmsan(true),
     );
     let alloc = NvAllocator::create(Arc::clone(&pool), NvConfig::log().arenas(2)).unwrap();
     let live: Vec<(usize, u64)> = std::thread::scope(|s| {
@@ -130,6 +150,7 @@ fn crash_with_multithreaded_history() {
             .flat_map(|h| h.join().unwrap())
             .collect()
     });
+    pmsan_clean(&pool, "multithreaded trace");
     let img = PmemPool::from_crash_image(pool.crash());
     let (alloc2, _) = NvAllocator::recover(Arc::clone(&img), NvConfig::log().arenas(2)).unwrap();
     let mut t = alloc2.thread();
@@ -138,6 +159,7 @@ fn crash_with_multithreaded_history() {
         assert_eq!(img.read_u64(addr), slot as u64);
         t.free_from(alloc2.root_offset(slot)).unwrap();
     }
+    pmsan_clean(&img, "recovery after multithreaded crash");
 }
 
 #[test]
@@ -148,7 +170,8 @@ fn repeated_crash_recover_cycles() {
             PmemConfig::default()
                 .pool_size(96 << 20)
                 .latency_mode(LatencyMode::Off)
-                .crash_tracking(true),
+                .crash_tracking(true)
+                .pmsan(true),
         );
         let alloc = NvAllocator::create(Arc::clone(&pool), NvConfig::log()).unwrap();
         let mut t = alloc.thread();
@@ -174,7 +197,8 @@ fn gc_variant_multithreaded_crash() {
         PmemConfig::default()
             .pool_size(128 << 20)
             .latency_mode(LatencyMode::Off)
-            .crash_tracking(true),
+            .crash_tracking(true)
+            .pmsan(true),
     );
     let alloc = NvAllocator::create(Arc::clone(&pool), NvConfig::gc().arenas(2)).unwrap();
     let live: Vec<(usize, u64)> = std::thread::scope(|s| {
@@ -199,8 +223,14 @@ fn gc_variant_multithreaded_crash() {
                         } else {
                             mine.push((slot, addr));
                         }
+                        // Order each op: without the fence, the next op's
+                        // root store lands on a flushed-pending line
+                        // (store_unfenced). The crash image is identical
+                        // either way — the shadow is flush-driven — so
+                        // this only tightens the app's ordering to what
+                        // the sanitizer (rightly) demands.
+                        pool.fence(t.pm_mut());
                     }
-                    pool.fence(t.pm_mut());
                     mine
                 })
             })
@@ -209,6 +239,7 @@ fn gc_variant_multithreaded_crash() {
             .flat_map(|h| h.join().unwrap())
             .collect()
     });
+    pmsan_clean(&pool, "gc-variant trace");
     let img = PmemPool::from_crash_image(pool.crash());
     let (alloc2, report) =
         NvAllocator::recover(Arc::clone(&img), NvConfig::gc().arenas(2)).unwrap();
@@ -219,6 +250,7 @@ fn gc_variant_multithreaded_crash() {
         assert_eq!(img.read_u64(addr), slot as u64);
         t.free_from(alloc2.root_offset(slot)).unwrap();
     }
+    pmsan_clean(&img, "gc-variant recovery");
 }
 
 /// One step of the cross-shard large-allocation trace. `th` selects one
@@ -272,7 +304,8 @@ fn run_sharded_prefix(
         PmemConfig::default()
             .pool_size(128 << 20)
             .latency_mode(LatencyMode::Off)
-            .crash_tracking(true),
+            .crash_tracking(true)
+            .pmsan(true),
     );
     let alloc = NvAllocator::create(Arc::clone(&pool), cfg).unwrap();
     assert!(alloc.large_shards() >= 4, "need >= 4 shards, got {}", alloc.large_shards());
@@ -283,10 +316,11 @@ fn run_sharded_prefix(
             LOp::A { th, slot, size } => {
                 let root = alloc.root_offset(slot);
                 let addr = ts[th].malloc_to(size, root).unwrap();
-                if gc_contract {
-                    // GC model: the app persists its own roots.
-                    pool.flush(ts[th].pm_mut(), root, 8, FlushKind::Data);
-                }
+                // No app-side root flush even under the GC contract:
+                // large allocations use the WAL in both variants, so the
+                // allocator persists the destination itself as the WAL
+                // commit record — an app re-flush would be redundant
+                // (and the sanitizer flags it as such).
                 pool.write_u64(addr, slot as u64 | 0xD0D0 << 32);
                 pool.flush(ts[th].pm_mut(), addr, 8, FlushKind::Data);
                 pool.fence(ts[th].pm_mut());
@@ -318,6 +352,7 @@ fn verify_sharded_recovery(
     cfg: NvConfig,
     live: &HashMap<usize, (u64, usize)>,
 ) {
+    pmsan_clean(&pool, "sharded trace");
     let img = PmemPool::from_crash_image(pool.crash());
     let (alloc, report) = NvAllocator::recover(Arc::clone(&img), cfg.clone()).expect("recover");
     assert!(!report.normal_shutdown);
@@ -357,6 +392,7 @@ fn verify_sharded_recovery(
     for i in 0..24usize {
         t.malloc_to(48 << 10, alloc.root_offset(300 + i)).unwrap();
     }
+    pmsan_clean(&img, "sharded recovery + reuse churn");
 }
 
 #[test]
@@ -392,7 +428,8 @@ fn reservoir_crash_accounting_is_pinned() {
         PmemConfig::default()
             .pool_size(96 << 20)
             .latency_mode(LatencyMode::Off)
-            .crash_tracking(true),
+            .crash_tracking(true)
+            .pmsan(true),
     );
     let alloc = NvAllocator::create(Arc::clone(&pool), NvConfig::log()).unwrap();
     let mut t = alloc.thread();
@@ -417,6 +454,7 @@ fn reservoir_crash_accounting_is_pinned() {
     for i in 0..256usize {
         t2.malloc_to(1200, alloc2.root_offset(1 + i)).unwrap();
     }
+    pmsan_clean(&img, "reservoir recovery");
 }
 
 #[test]
@@ -428,7 +466,8 @@ fn crash_during_recovery_is_recoverable() {
         PmemConfig::default()
             .pool_size(96 << 20)
             .latency_mode(LatencyMode::Off)
-            .crash_tracking(true),
+            .crash_tracking(true)
+            .pmsan(true),
     );
     let alloc = NvAllocator::create(Arc::clone(&pool), NvConfig::log()).unwrap();
     let mut t = alloc.thread();
@@ -469,4 +508,5 @@ fn crash_during_recovery_is_recoverable() {
         t2.free_from(a2.root_offset(i)).unwrap();
     }
     assert_eq!(a2.live_bytes(), 0);
+    pmsan_clean(&reboot, "double recovery");
 }
