@@ -13,6 +13,7 @@ fn main() {
     e::fig_space::run_fig13(&scale);
     e::fig_fptree::run_fig14(&scale);
     e::fig_frag::run_fig15(&scale);
+    e::fig_frag_timeline::run_frag_timeline(&scale);
     e::stripes::run_fig16a(&scale);
     e::stripes::run_fig16b(&scale);
     e::fig_large::run_fig17(&scale);

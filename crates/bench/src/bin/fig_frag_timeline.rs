@@ -1,0 +1,6 @@
+//! Fragmentation over time: Fragbench W3 churn with the heap-observatory
+//! timeline sampler, NVAlloc-LOG vs. PMDK and Makalu.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::fig_frag_timeline::run_frag_timeline(&scale);
+}

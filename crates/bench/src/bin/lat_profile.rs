@@ -3,18 +3,16 @@
 //! reported as p50/p90/p99/max. Shows the *tail* effect of reflushes: the
 //! WAL-based baselines' percentiles sit on the reflush plateau while
 //! NVAlloc's stay on the sequential-flush floor.
+//!
+//! Percentiles are reduced from the same log2 histograms (and the same
+//! [`LatencyHistogram::quantile`] math) as the core telemetry's `latency`
+//! JSON object and the timeline sampler's windowed quantiles, so every
+//! percentile column in the repo agrees by construction.
 
+use nvalloc::telemetry::LatencyHistogram;
 use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
 use nvalloc_workloads::allocators::Which;
 use nvalloc_workloads::Reporter;
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p) as usize;
-    sorted[idx]
-}
 
 fn main() {
     let scale = nvalloc_bench::Scale::from_args();
@@ -43,8 +41,9 @@ fn main() {
         );
         let alloc = which.create_with_roots(pool, 1 << 19);
         let mut t = alloc.thread();
-        let mut mallocs = Vec::with_capacity(ops);
-        let mut frees = Vec::with_capacity(ops);
+        let mut mallocs = LatencyHistogram::default();
+        let mut frees = LatencyHistogram::default();
+        let mut malloc_max = 0u64;
         for i in 0..ops {
             let root = alloc.root_offset((i % (1 << 16)) * 8);
             let before = t.pm().virtual_ns();
@@ -52,19 +51,18 @@ fn main() {
             let mid = t.pm().virtual_ns();
             t.free_from(root).expect("free");
             let after = t.pm().virtual_ns();
-            mallocs.push(mid - before);
-            frees.push(after - mid);
+            mallocs.record(mid - before);
+            malloc_max = malloc_max.max(mid - before);
+            frees.record(after - mid);
         }
-        mallocs.sort_unstable();
-        frees.sort_unstable();
         rep.row(&[
             which.name(),
-            &percentile(&mallocs, 0.50).to_string(),
-            &percentile(&mallocs, 0.90).to_string(),
-            &percentile(&mallocs, 0.99).to_string(),
-            &mallocs.last().copied().unwrap_or(0).to_string(),
-            &percentile(&frees, 0.50).to_string(),
-            &percentile(&frees, 0.99).to_string(),
+            &mallocs.quantile(0.50).to_string(),
+            &mallocs.quantile(0.90).to_string(),
+            &mallocs.quantile(0.99).to_string(),
+            &malloc_max.to_string(),
+            &frees.quantile(0.50).to_string(),
+            &frees.quantile(0.99).to_string(),
         ]);
     }
     print!("{}", rep.render());

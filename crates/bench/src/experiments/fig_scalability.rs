@@ -18,6 +18,7 @@
 //! Honours `--threads a,b,c`, `--ops N` (per-thread allocation count),
 //! `--quick`/`--full`/`--factor`, and `--json`.
 
+use nvalloc::telemetry::OpKind;
 use nvalloc::NvConfig;
 use nvalloc_workloads::allocators::{create_custom, Which};
 use nvalloc_workloads::{remote_mix, BenchMeasurement, Reporter};
@@ -65,6 +66,10 @@ fn run_series(
     let large_cont_per_op = m.metrics.large_lock_contended as f64 / m.ops.max(1) as f64;
     let reservoir_ops = m.metrics.reservoir_hits + m.metrics.reservoir_misses;
     let hit_pct = 100.0 * m.metrics.reservoir_hits as f64 / reservoir_ops.max(1) as f64;
+    // Modelled small-malloc tail latency, from the same log2 histograms
+    // the JSON `latency` object is reduced from (baselines have no
+    // internal histograms and report 0).
+    let alloc_hist = m.metrics.hists.of(OpKind::MallocSmall);
     rep.row(&[
         label.unwrap_or(&m.allocator),
         &threads.to_string(),
@@ -76,6 +81,9 @@ fn run_series(
         &format!("{large_cont_per_op:.4}"),
         &format!("{:.0}", m.lock_wait_ns_per_op()),
         &format!("{hit_pct:.1}"),
+        &alloc_hist.quantile(0.50).to_string(),
+        &alloc_hist.quantile(0.99).to_string(),
+        &alloc_hist.quantile(0.999).to_string(),
     ]);
     m
 }
@@ -99,6 +107,9 @@ pub fn run_fig22(scale: &Scale) {
         "large cont/op",
         "lock wait ns/op",
         "rsv hit %",
+        "alloc p50 ns",
+        "alloc p99 ns",
+        "alloc p999 ns",
     ]);
     for &t in scale.threads() {
         // One arena per thread (the paper binds arenas to cores), so a
@@ -110,7 +121,8 @@ pub fn run_fig22(scale: &Scale) {
                 .arenas(t)
                 .slab_reservoir(RESERVOIR)
                 .trace(scale.tracing())
-                .trace_events_per_thread(scale.trace_events()),
+                .trace_events_per_thread(scale.trace_events())
+                .timeline(scale.timeline_ns()),
             1 << 18,
         );
         run_series(scale, &mut rep, "fig22_scalability", None, t, ops, &sharded);

@@ -21,7 +21,13 @@ fn run_bench(
 ) -> BenchMeasurement {
     let san = scale.pmsan && which.is_nvalloc();
     let pool = if eadr { pool_eadr_mb_san(512, san) } else { pool_mb_san(512, san) };
-    let alloc = which.create_traced(pool, 1 << 19, scale.tracing(), scale.trace_events());
+    let alloc = which.create_observed(
+        pool,
+        1 << 19,
+        scale.tracing(),
+        scale.trace_events(),
+        scale.timeline_ns(),
+    );
     let m = match bench {
         "Threadtest" => {
             let mut p = threadtest::Params::quick(threads);

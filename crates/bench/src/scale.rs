@@ -39,6 +39,14 @@ pub struct Scale {
     /// capture a whole run — e.g. a morph that happens mid-workload —
     /// at 40 B per event of DRAM.
     pub trace_events: usize,
+    /// Destination for a JSON-lines export of the heap-observatory
+    /// timeline (`--timeline`). Turns `NvConfig::timeline` on for the
+    /// NVAlloc series; like `--trace`, each finished allocator
+    /// overwrites the file, so the last one of the run wins.
+    pub timeline: Option<PathBuf>,
+    /// Timeline tick interval in virtual nanoseconds
+    /// (`--timeline-interval`, default 50 µs of virtual time).
+    pub timeline_interval: u64,
     /// Run with the persist-ordering sanitizer (`--pmsan`): pools are
     /// built with shadow persist-state, and [`Scale::finish`] prints the
     /// violation report and **panics on any violation** — the CI
@@ -103,9 +111,22 @@ impl Scale {
                     s.trace_events =
                         args[i].parse().expect("--trace-events takes a per-thread ring capacity");
                 }
+                "--timeline" => {
+                    i += 1;
+                    let path =
+                        PathBuf::from(args.get(i).expect("--timeline takes an output path"));
+                    std::fs::File::create(&path)
+                        .unwrap_or_else(|e| panic!("--timeline {}: {e}", path.display()));
+                    s.timeline = Some(path);
+                }
+                "--timeline-interval" => {
+                    i += 1;
+                    s.timeline_interval =
+                        args[i].parse().expect("--timeline-interval takes virtual nanoseconds");
+                }
                 "--pmsan" => s.pmsan = true,
                 other => panic!(
-                    "unknown flag {other} (try --quick/--full/--threads 1,2,4/--ops 10000/--json out.jsonl/--trace t.json/--trace-events 1000000/--save-pool p.heap/--pmsan)"
+                    "unknown flag {other} (try --quick/--full/--threads 1,2,4/--ops 10000/--json out.jsonl/--trace t.json/--trace-events 1000000/--timeline tl.jsonl/--timeline-interval 50000/--save-pool p.heap/--pmsan)"
                 ),
             }
             i += 1;
@@ -134,6 +155,17 @@ impl Scale {
         self.trace_events
     }
 
+    /// The `NvConfig::timeline` interval experiments should build their
+    /// NVAlloc allocators with: the configured tick interval when
+    /// `--timeline` was given, else 0 (sampler off).
+    pub fn timeline_ns(&self) -> u64 {
+        if self.timeline.is_some() {
+            self.timeline_interval
+        } else {
+            0
+        }
+    }
+
     /// Post-run hooks for one finished allocator: export its flight
     /// recorder as Chrome trace JSON (`--trace`) and/or save its pool as
     /// a heap image (`--save-pool`). Later calls overwrite earlier ones,
@@ -145,6 +177,12 @@ impl Scale {
             if let Some(json) = alloc.trace_json() {
                 std::fs::write(path, json)
                     .unwrap_or_else(|e| panic!("--trace {}: {e}", path.display()));
+            }
+        }
+        if let Some(path) = &self.timeline {
+            if let Some(json) = alloc.timeline_json() {
+                std::fs::write(path, json)
+                    .unwrap_or_else(|e| panic!("--timeline {}: {e}", path.display()));
             }
         }
         // Sanitized allocators (pmsan pools) get an orderly shutdown —
@@ -201,6 +239,8 @@ impl Default for Scale {
             trace: None,
             save_pool: None,
             trace_events: 4096,
+            timeline: None,
+            timeline_interval: 50_000,
             pmsan: false,
         }
     }
@@ -216,6 +256,14 @@ mod tests {
         assert_eq!(s.ops(1000, 10), 10);
         let s = Scale { factor: 2.0, ..Scale::default() };
         assert_eq!(s.ops(1000, 10), 2000);
+    }
+
+    #[test]
+    fn timeline_interval_gated_on_flag() {
+        let s = Scale::default();
+        assert_eq!(s.timeline_ns(), 0, "no --timeline → sampler off");
+        let s = Scale { timeline: Some(PathBuf::from("tl.jsonl")), ..Scale::default() };
+        assert_eq!(s.timeline_ns(), 50_000, "default interval once --timeline is given");
     }
 
     #[test]

@@ -67,6 +67,14 @@ pub trait PmAllocator: Send + Sync + Debug {
         None
     }
 
+    /// The heap-observatory timeline serialized as JSON lines (one
+    /// [`crate::observe::TimelineSample`] object per line), or `None`
+    /// when the timeline sampler is disabled or unsupported. Baselines
+    /// have no sampler and inherit this default.
+    fn timeline_json(&self) -> Option<String> {
+        None
+    }
+
     /// Drain deferred work without shutting down: return every arena's
     /// pending remote (cross-arena) frees to their slabs and fence any
     /// resulting flushes, leaving an idle heap with no stranded queues.

@@ -125,6 +125,21 @@ pub struct NvConfig {
     /// Off by default: the shadow cells cost 8 B per 64 B of pool and a
     /// few atomics per persistence call.
     pub pmsan: bool,
+    /// Timeline sampler tick interval in **virtual** nanoseconds
+    /// ([`crate::observe`]); `0` (the default) disables the sampler.
+    /// Ticks are driven by the virtual PM clock, so sampled runs stay
+    /// deterministic and crash-matrix/pmsan-compatible. Sampling is
+    /// read-only (DRAM-side, no persistence calls, no clock advance).
+    pub timeline_interval_ns: u64,
+    /// Max samples retained by the timeline ring (oldest dropped first).
+    pub timeline_capacity: usize,
+    /// Window of the large allocator's jemalloc-style extent decay
+    /// schedule in **wall-clock** milliseconds (default 10 000). Decay
+    /// is the one deliberately wall-clock-driven mechanism in the
+    /// allocator; runs that must be bit-reproducible end to end (e.g.
+    /// `fig_frag_timeline`) pin it to `u64::MAX`, which freezes the
+    /// demotion threshold at its peak so no extent ever decays.
+    pub decay_ms: u64,
 }
 
 impl NvConfig {
@@ -154,6 +169,9 @@ impl NvConfig {
             trace: false,
             trace_events_per_thread: 4096,
             pmsan: false,
+            timeline_interval_ns: 0,
+            timeline_capacity: 4096,
+            decay_ms: 10_000,
         }
     }
 
@@ -266,6 +284,28 @@ impl NvConfig {
         self
     }
 
+    /// Set the timeline sampler tick interval in virtual nanoseconds
+    /// ([`NvConfig::timeline_interval_ns`]; 0 disables the sampler).
+    pub fn timeline(mut self, interval_ns: u64) -> Self {
+        self.timeline_interval_ns = interval_ns;
+        self
+    }
+
+    /// Set the timeline ring capacity in samples
+    /// ([`NvConfig::timeline_capacity`]).
+    pub fn timeline_capacity(mut self, n: usize) -> Self {
+        self.timeline_capacity = n.max(1);
+        self
+    }
+
+    /// Set the extent-decay window in wall-clock milliseconds
+    /// ([`NvConfig::decay_ms`]; `u64::MAX` disables decay for
+    /// bit-reproducible runs).
+    pub fn decay_ms(mut self, ms: u64) -> Self {
+        self.decay_ms = ms.max(1);
+        self
+    }
+
     /// Set the flight-recorder ring capacity per thread, in events.
     pub fn trace_events_per_thread(mut self, n: usize) -> Self {
         self.trace_events_per_thread = n.max(1);
@@ -346,6 +386,17 @@ mod tests {
         assert_eq!(c.large_shards, 0, "shards default to auto");
         assert_eq!(NvConfig::log().large_shards(3).large_shards, 3);
         assert_eq!(NvConfig::log().slab_reservoir(0).slab_reservoir, 0);
+    }
+
+    #[test]
+    fn timeline_defaults_off() {
+        let c = NvConfig::log();
+        assert_eq!(c.timeline_interval_ns, 0, "timeline must default off");
+        assert!(c.timeline_capacity > 0);
+        let on = NvConfig::log().timeline(50_000).timeline_capacity(16);
+        assert_eq!(on.timeline_interval_ns, 50_000);
+        assert_eq!(on.timeline_capacity, 16);
+        assert_eq!(NvConfig::log().timeline_capacity(0).timeline_capacity, 1);
     }
 
     #[test]

@@ -111,25 +111,22 @@ impl DoctorReport {
     }
 
     /// Fraction of the used heap span not covered by live extents
-    /// (external fragmentation; 0.0 when the heap is untouched).
+    /// (external fragmentation; 0.0 when the heap is untouched). Shares
+    /// its math with the live timeline sampler ([`crate::observe`]), so
+    /// the offline and online views can never disagree on a quiesced
+    /// heap.
     pub fn external_fragmentation(&self) -> f64 {
-        if self.heap_used_bytes == 0 {
-            return 0.0;
-        }
         let covered =
-            (self.slabs + self.reservoir_slabs) as u64 * SLAB_SIZE as u64 + self.live_large_bytes;
-        1.0 - (covered.min(self.heap_used_bytes) as f64 / self.heap_used_bytes as f64)
+            crate::observe::covered_bytes(self.slabs + self.reservoir_slabs, self.live_large_bytes);
+        crate::observe::external_fragmentation(self.heap_used_bytes, covered)
     }
 
     /// Live blocks over slab capacity (slab-internal utilisation; 1.0 for
-    /// an image without slabs).
+    /// an image without slabs). Shared math with [`crate::observe`].
     pub fn slab_utilization(&self) -> f64 {
         let cap: usize = self.occupancy.iter().map(|c| c.capacity_blocks).sum();
-        if cap == 0 {
-            return 1.0;
-        }
         let live: usize = self.occupancy.iter().map(|c| c.live_blocks).sum();
-        live as f64 / cap as f64
+        crate::observe::utilization(live, cap)
     }
 
     /// The whole report as one JSON object (machine-readable output of
@@ -447,8 +444,8 @@ pub fn audit_pool(pool: &PmemPool, cfg: &NvConfig) -> DoctorReport {
         per_class[class].slabs += 1;
         per_class[class].capacity_blocks += nblocks;
         per_class[class].live_blocks += live;
-        if let Some(decile) = (live * 10).checked_div(nblocks) {
-            rep.occupancy_hist[decile.min(9)] += 1;
+        if let Some(decile) = crate::observe::occupancy_decile(live, nblocks) {
+            rep.occupancy_hist[decile] += 1;
         }
         slab_map.insert(addr, SlabInfo { class, data_offset: doff, nblocks, morph_live });
     }
@@ -533,12 +530,11 @@ pub fn audit_pool(pool: &PmemPool, cfg: &NvConfig) -> DoctorReport {
         }
     }
 
-    // Fragmentation figures.
-    rep.heap_used_bytes = extents
-        .iter()
-        .map(|&(off, size, _)| off + size as u64)
-        .max()
-        .map_or(0, |end| end - layout.heap_base);
+    // Fragmentation figures (shared math with the live sampler).
+    rep.heap_used_bytes = crate::observe::heap_used_bytes(
+        extents.iter().map(|&(off, size, _)| off + size as u64).max(),
+        layout.heap_base,
+    );
     rep
 }
 
@@ -583,6 +579,73 @@ mod tests {
         assert!(rep.occupancy.iter().any(|c| c.live_blocks > 0));
         let j = rep.to_json();
         assert!(j.contains("\"violations\":0"), "json must report zero violations: {j}");
+    }
+
+    /// The live timeline sampler and the offline doctor share their
+    /// fragmentation/occupancy math; on a quiesced heap (threads gone,
+    /// deferred frees drained) the volatile and persistent views must
+    /// agree exactly.
+    #[test]
+    fn live_sampler_matches_doctor_on_quiesced_heap() {
+        let cfg = NvConfig::log().roots(64);
+        let p = pool();
+        let a = NvAllocator::create(Arc::clone(&p), cfg.clone()).expect("create");
+        let mut t = a.thread();
+        for i in 0..32usize {
+            t.malloc_to(64 + (i % 5) * 256, a.root_offset(i)).expect("alloc");
+        }
+        for i in (0..32usize).step_by(2) {
+            t.free_from(a.root_offset(i)).expect("free");
+        }
+        t.malloc_to(1 << 20, a.root_offset(40)).expect("large alloc");
+        drop(t);
+        a.quiesce();
+        a.exit();
+        let live = a.timeline_sample_now();
+        let rep = audit_pool(&p, &cfg);
+        assert!(rep.clean(), "{:?}", rep.violations);
+        assert_eq!(live.heap_used_bytes, rep.heap_used_bytes);
+        assert_eq!(live.external_frag, rep.external_fragmentation());
+        assert_eq!(live.slab_utilization, rep.slab_utilization());
+        let frames: usize = live.shards.iter().map(|s| s.active_slabs).sum();
+        assert_eq!(
+            frames,
+            rep.slabs + rep.reservoir_slabs,
+            "live slab frames == headered + reservoir slabs"
+        );
+        let large: u64 = live.shards.iter().map(|s| s.live_large_bytes).sum();
+        assert_eq!(large, rep.live_large_bytes);
+        let extents: usize = live.shards.iter().map(|s| s.active_extents).sum();
+        assert_eq!(extents, rep.extents);
+        // Per-class occupancy agrees row by row (sampler rows are
+        // per-arena; fold them before comparing).
+        let mut per_class = std::collections::BTreeMap::new();
+        for g in live.arenas.iter().flat_map(|ar| &ar.classes) {
+            let e = per_class.entry(g.class).or_insert((0usize, 0usize, 0usize));
+            e.0 += g.slabs;
+            e.1 += g.capacity_blocks;
+            e.2 += g.live_blocks;
+        }
+        assert_eq!(per_class.len(), rep.occupancy.len());
+        for c in &rep.occupancy {
+            let &(slabs, cap, live_blocks) =
+                per_class.get(&c.class).expect("class present in live sample");
+            assert_eq!(
+                (slabs, cap, live_blocks),
+                (c.slabs, c.capacity_blocks, c.live_blocks),
+                "class {} occupancy",
+                c.class
+            );
+        }
+        // Decile occupancy histograms agree bin by bin: both sides bin
+        // through `observe::occupancy_decile`.
+        let mut hist = [0usize; 10];
+        for ar in &live.arenas {
+            for (i, n) in ar.occupancy_hist.iter().enumerate() {
+                hist[i] += n;
+            }
+        }
+        assert_eq!(hist, rep.occupancy_hist, "decile occupancy histogram");
     }
 
     #[test]

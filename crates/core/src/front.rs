@@ -32,6 +32,7 @@ use crate::config::{NvConfig, Variant};
 use crate::geometry::GeometryTable;
 use crate::large::{LargeConfig, VehId, REGION_BYTES};
 use crate::morph;
+use crate::observe::{ArenaGauge, ClassGauge, TimelineSample, TimelineSampler};
 use crate::remote::{RemoteFree, SlabGates};
 use crate::rtree::{Owner, RTree};
 use crate::shards::ShardedLarge;
@@ -134,7 +135,7 @@ impl Layout {
             booklog_stripes: cfg.stripes_for(cfg.interleave_booklog),
             booklog_gc: cfg.booklog_gc,
             slow_gc_threshold: usize::MAX, // set by NvInner from usage_pmem
-            decay_ms: 10_000,
+            decay_ms: cfg.decay_ms,
             region_table_base: self.region_table,
             region_table_bytes: self.region_table_bytes,
             shard_tag: 0, // per-shard tags are applied by ShardedLarge
@@ -188,6 +189,10 @@ pub(crate) struct NvInner {
     /// Per-slab shared/exclusive gates arbitrating the lock-free free
     /// fast path against slab layout changes (morph, retire).
     pub slab_gates: SlabGates,
+    /// Timeline sampler (`NvConfig::timeline`); operation completions
+    /// check it against their thread's virtual clock and the boundary
+    /// winner records one [`TimelineSample`].
+    pub observe: Option<Arc<TimelineSampler>>,
 }
 
 impl NvInner {
@@ -260,6 +265,87 @@ impl NvInner {
         self.slab_gates.unlock(slab_off);
         res
     }
+
+    /// Collect one timeline sample at virtual time `ns` (read-only; see
+    /// [`crate::observe`]). Takes each arena lock and each large-shard
+    /// lock briefly — the *uncounted* raw locks, so sampling never shows
+    /// up in the lock telemetry it observes — and makes no persistence
+    /// calls. The windowed latency quantiles are filled in later by
+    /// [`TimelineSampler::record`].
+    pub(crate) fn collect_sample(&self, ns: u64) -> TimelineSample {
+        let shards = self.large.gauges();
+        let mut arenas = Vec::with_capacity(self.arenas.len());
+        for a in &self.arenas {
+            let ai = a.inner.lock();
+            // (slabs, capacity blocks, live blocks) per class; aggregated
+            // into a fixed-order array so the HashMap iteration order of
+            // `ai.slabs` cannot leak into the sample.
+            let mut per_class = [(0usize, 0usize, 0usize); crate::size_class::NUM_CLASSES];
+            // Occupancy deciles share the same pass (the arena lock is
+            // held, so a second `slabs` walk would only add hold time) and
+            // the same binning as the doctor's audit histogram.
+            let mut occupancy_hist = vec![0usize; crate::observe::DECILE_BINS.len() + 1];
+            for vs in ai.slabs.values() {
+                let e = &mut per_class[vs.class];
+                e.0 += 1;
+                e.1 += vs.nblocks;
+                e.2 += vs.nblocks - vs.nfree;
+                if let Some(d) = crate::observe::occupancy_decile(vs.nblocks - vs.nfree, vs.nblocks)
+                {
+                    occupancy_hist[d] += 1;
+                }
+            }
+            // `remote.len()`'s safety contract requires the arena lock
+            // (held here).
+            let remote_depth = a.remote.len();
+            arenas.push(ArenaGauge {
+                slabs: ai.slabs.len(),
+                occupancy_hist,
+                classes: per_class
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.0 > 0)
+                    .map(|(class, &(slabs, capacity_blocks, live_blocks))| ClassGauge {
+                        class,
+                        slabs,
+                        capacity_blocks,
+                        live_blocks,
+                    })
+                    .collect(),
+                reservoir: ai.reservoir.len(),
+                remote_depth,
+            });
+        }
+        // Reservoir frames keep their (header-scrubbed) slab extents
+        // Active in the large allocator, so `active_slabs` already counts
+        // claimed + parked frames — the same coverage the doctor derives
+        // from `slabs + reservoir_slabs`.
+        let slab_frames: usize = shards.iter().map(|s| s.active_slabs).sum();
+        let live_large: u64 = shards.iter().map(|s| s.live_large_bytes).sum();
+        let max_end = shards.iter().map(|s| s.max_extent_end).max().filter(|&e| e > 0);
+        let heap_used = crate::observe::heap_used_bytes(max_end, self.layout.heap_base);
+        let covered = crate::observe::covered_bytes(slab_frames, live_large);
+        let (cap, live) = arenas
+            .iter()
+            .flat_map(|a| &a.classes)
+            .fold((0usize, 0usize), |(c, l), g| (c + g.capacity_blocks, l + g.live_blocks));
+        TimelineSample {
+            seq: 0, // assigned by TimelineSampler::record
+            ns,
+            heap_used_bytes: heap_used,
+            covered_bytes: covered,
+            external_frag: crate::observe::external_fragmentation(heap_used, covered),
+            slab_utilization: crate::observe::utilization(live, cap),
+            mapped_bytes: shards.iter().map(|s| s.mapped_bytes).sum(),
+            live_bytes: self.live_bytes.load(Ordering::Relaxed) as u64,
+            booklog_live: shards.iter().map(|s| s.booklog_live).sum(),
+            booklog_dead: shards.iter().map(|s| s.booklog_dead).sum(),
+            wal_appends: self.metrics.counter(Counter::WalAppends),
+            shards,
+            arenas,
+            window: Default::default(),
+        }
+    }
 }
 
 impl std::fmt::Debug for NvInner {
@@ -323,6 +409,9 @@ impl NvAllocator {
         let metrics = CoreMetrics::new(cfg.telemetry);
         let tracer = cfg.trace.then(|| Arc::new(TraceRecorder::new(cfg.trace_events_per_thread)));
         let slab_gates = SlabGates::new(pool.size());
+        let observe = (cfg.timeline_interval_ns > 0).then(|| {
+            Arc::new(TimelineSampler::new(cfg.timeline_interval_ns, cfg.timeline_capacity))
+        });
         Ok(NvAllocator(Arc::new(NvInner {
             pool,
             cfg,
@@ -336,6 +425,7 @@ impl NvAllocator {
             metrics,
             tracer,
             slab_gates,
+            observe,
         })))
     }
 
@@ -443,6 +533,26 @@ impl NvAllocator {
     /// The flight recorder, when `NvConfig::trace` is on.
     pub fn trace_recorder(&self) -> Option<&Arc<TraceRecorder>> {
         self.0.tracer.as_ref()
+    }
+
+    /// The timeline sampler, when `NvConfig::timeline` is on.
+    pub fn timeline_sampler(&self) -> Option<&Arc<TimelineSampler>> {
+        self.0.observe.as_ref()
+    }
+
+    /// Resident timeline samples, oldest first (empty when the sampler
+    /// is off or no tick has fired yet).
+    pub fn timeline_samples(&self) -> Vec<TimelineSample> {
+        self.0.observe.as_ref().map(|o| o.samples()).unwrap_or_default()
+    }
+
+    /// Collect one out-of-band sample of the heap's *current* state,
+    /// independent of the sampler (works with the timeline off; the
+    /// windowed latency fields stay zero and the sample is not recorded
+    /// into the ring). This is what the doctor-equivalence test compares
+    /// against the offline audit on a quiesced heap.
+    pub fn timeline_sample_now(&self) -> TimelineSample {
+        self.0.collect_sample(0)
     }
 }
 
@@ -556,7 +666,16 @@ impl PmAllocator for NvAllocator {
     }
 
     fn trace_json(&self) -> Option<String> {
-        self.0.tracer.as_ref().map(|r| r.chrome_json())
+        self.0.tracer.as_ref().map(|r| match &self.0.observe {
+            // Merge the timeline's counter tracks into the event stream so
+            // the fragmentation/heap/queue curves render above the ops.
+            Some(o) => r.chrome_json_with(&o.chrome_counter_events()),
+            None => r.chrome_json(),
+        })
+    }
+
+    fn timeline_json(&self) -> Option<String> {
+        self.0.observe.as_ref().map(|o| o.json_lines())
     }
 
     fn quiesce(&self) {
@@ -687,6 +806,30 @@ impl NvThread {
 
     fn next_seq(&self) -> u64 {
         self.inner.wal_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Timeline hook, run after an operation completes (no locks held).
+    /// One relaxed load + branch when the clock hasn't crossed the next
+    /// boundary; the (single, per boundary) claim winner collects and
+    /// records a sample. Driven by the virtual clock only, so sampled
+    /// single-threaded runs are deterministic.
+    #[inline]
+    fn timeline_tick(&self) {
+        let Some(obs) = &self.inner.observe else { return };
+        let now = self.pm.virtual_ns();
+        if !obs.due(now) {
+            return;
+        }
+        let Some(stamp) = obs.claim(now) else { return };
+        let sample = self.inner.collect_sample(stamp);
+        // Window base: the shared registry (threads that already merged)
+        // plus this thread's local histograms. Other live threads' local
+        // samples merge when they drop — single-threaded runs see every
+        // op; multi-threaded windows are best-effort like any cross-
+        // thread cut.
+        let mut cum = self.inner.metrics.hists();
+        cum.merge(&self.hists);
+        obs.record(sample, &cum);
     }
 
     /// Append one entry to this thread's micro-WAL with a fresh sequence
@@ -1182,6 +1325,7 @@ impl AllocThread for NvThread {
             }
         };
         self.pm.trace(EventKind::MallocEnd.code(), r.as_ref().map_or(0, |a| *a), 0);
+        self.timeline_tick();
         r
     }
 
@@ -1202,6 +1346,7 @@ impl AllocThread for NvThread {
             self.hists.record(OpKind::Free, span.elapsed_ns(&self.pm));
         }
         self.pm.trace(EventKind::FreeEnd.code(), addr, 0);
+        self.timeline_tick();
         r
     }
 

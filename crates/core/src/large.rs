@@ -340,6 +340,35 @@ impl LargeAlloc {
         self.booklog.as_ref().map(|b| b.stats())
     }
 
+    /// Point-in-time occupancy gauge for the timeline sampler (read-only;
+    /// see [`crate::observe`]). Mirrors what the offline doctor derives
+    /// from the persistent extent inventory, but from the volatile state,
+    /// so a quiesced heap reports identical figures both ways.
+    pub fn gauge(&self) -> crate::observe::ShardGauge {
+        let mut g = crate::observe::ShardGauge {
+            mapped_bytes: self.mapped_bytes as u64,
+            free_extents: self.reclaimed.len() + self.retained.len(),
+            ..Default::default()
+        };
+        for v in self.vehs.iter().flatten() {
+            if v.state != ExtentState::Active {
+                continue;
+            }
+            if v.is_slab {
+                g.active_slabs += 1;
+            } else {
+                g.active_extents += 1;
+                g.live_large_bytes += v.size as u64;
+            }
+            g.max_extent_end = g.max_extent_end.max(v.off + v.size as u64);
+        }
+        if let Some(b) = &self.booklog {
+            g.booklog_live = b.live_entries() as u64;
+            g.booklog_dead = (b.stats().appends).saturating_sub(g.booklog_live);
+        }
+        g
+    }
+
     /// Extent-allocator telemetry counters.
     pub fn stats(&self) -> &LargeStats {
         &self.stats

@@ -58,6 +58,7 @@ mod geometry;
 mod interleave;
 mod large;
 mod morph;
+pub mod observe;
 mod recovery;
 mod remote;
 mod rtree;

@@ -196,6 +196,12 @@ pub(crate) fn recover(
     t.trace(EventKind::RecoveryPhase.code(), 4, report.leaks_fixed as u64);
 
     let slab_gates = crate::remote::SlabGates::new(pool.size());
+    let observe = (cfg.timeline_interval_ns > 0).then(|| {
+        Arc::new(crate::observe::TimelineSampler::new(
+            cfg.timeline_interval_ns,
+            cfg.timeline_capacity,
+        ))
+    });
     let alloc = NvAllocator(Arc::new(NvInner {
         pool,
         cfg,
@@ -209,6 +215,7 @@ pub(crate) fn recover(
         metrics,
         tracer,
         slab_gates,
+        observe,
     }));
     Ok((alloc, report))
 }

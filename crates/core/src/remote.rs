@@ -98,6 +98,27 @@ impl RemoteFreeQueue {
         self.head.load(Ordering::Acquire).is_null()
     }
 
+    /// Number of queued entries (advisory — the timeline sampler's
+    /// queue-depth gauge). Walks the chain without detaching it; entries
+    /// pushed after the head load are not counted.
+    ///
+    /// The caller must hold the owning arena's lock: nodes are freed only
+    /// by [`RemoteFreeQueue::drain`], whose single consumer also runs
+    /// under that lock, so holding it keeps the chain alive for the walk.
+    /// (Concurrent lock-free pushes only prepend ahead of the loaded head
+    /// and are simply not counted.)
+    pub fn len(&self) -> usize {
+        let mut p = self.head.load(Ordering::Acquire);
+        let mut n = 0;
+        while !p.is_null() {
+            // SAFETY: per the contract above the caller holds the arena
+            // lock, which excludes the only code path that frees nodes.
+            p = unsafe { (*p).next };
+            n += 1;
+        }
+        n
+    }
+
     /// Detach and return every queued entry, in LIFO push order.
     ///
     /// Single-consumer: the caller must be the unique drainer (in the

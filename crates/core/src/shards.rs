@@ -310,6 +310,12 @@ impl ShardedLarge {
         acc
     }
 
+    /// Per-shard occupancy gauges for the timeline sampler, in shard
+    /// order (uncounted raw locks, like the other observer aggregates).
+    pub fn gauges(&self) -> Vec<crate::observe::ShardGauge> {
+        self.shards.iter().map(|s| s.lock().gauge()).collect()
+    }
+
     /// Extent-allocator counters summed across shards (histograms
     /// merged).
     pub fn stats(&self) -> LargeStats {

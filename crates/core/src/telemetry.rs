@@ -163,6 +163,39 @@ impl LatencyHistogram {
         }
         out
     }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded samples in
+    /// nanoseconds, linearly interpolated within the containing log2
+    /// bucket between [`bucket_low`] and [`bucket_high`]. Returns 0 for
+    /// an empty histogram. Deterministic: the same buckets always yield
+    /// the same value, so bench and core percentile columns agree by
+    /// construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the sample the quantile falls on.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = bucket_low(b);
+                // The open upper bound of the last bucket is u64::MAX;
+                // cap the interpolation span so the result stays finite.
+                let hi = bucket_high(b).max(lo + 1);
+                let within = (rank - seen) as f64 / n as f64;
+                let est = lo as f64 + (hi - lo) as f64 * within;
+                return est as u64;
+            }
+            seen += n;
+        }
+        bucket_high(HIST_BUCKETS - 1)
+    }
 }
 
 /// One latency histogram per [`OpKind`].
@@ -381,6 +414,17 @@ impl CoreMetrics {
         if self.enabled {
             self.hists.lock().record(kind, ns);
         }
+    }
+
+    /// Copy of the registry's merged op histograms (the timeline sampler
+    /// diffs consecutive copies into windowed quantiles).
+    pub fn hists(&self) -> OpHistograms {
+        *self.hists.lock()
+    }
+
+    /// Current value of one scalar counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize].load(Ordering::Relaxed)
     }
 
     /// Record one instrumented mutex acquisition: `wait_ns` spent blocked
@@ -771,6 +815,18 @@ impl MetricsSnapshot {
         h.field_raw("lock_wait", &json::u64_array(&self.lock_wait_hist.buckets));
         h.field_raw("lock_hold", &json::u64_array(&self.lock_hold_hist.buckets));
         o.field_raw("hist", &h.finish());
+        let mut q = json::JsonObj::new();
+        for kind in OpKind::ALL {
+            let hist = self.hists.of(kind);
+            let mut kq = json::JsonObj::new();
+            kq.field_u64("count", hist.count());
+            kq.field_u64("p50", hist.quantile(0.50));
+            kq.field_u64("p95", hist.quantile(0.95));
+            kq.field_u64("p99", hist.quantile(0.99));
+            kq.field_u64("p999", hist.quantile(0.999));
+            q.field_raw(kind.label(), &kq.finish());
+        }
+        o.field_raw("latency", &q.finish());
         o.finish()
     }
 }
@@ -995,6 +1051,42 @@ mod tests {
         let other = CoreMetrics::new(true);
         let z = other.snapshot().since(&m.snapshot());
         assert_eq!(z.tcache_hits, 0);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for ns in [100u64, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200] {
+            h.record(ns);
+        }
+        let (p50, p95, p99, p999) =
+            (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99), h.quantile(0.999));
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= p999, "{p50} {p95} {p99} {p999}");
+        // Every quantile lands inside the recorded range's buckets.
+        assert!(p50 >= bucket_low(bucket_index(100)));
+        assert!(p999 <= bucket_high(bucket_index(51200)));
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        // A single-sample histogram puts every quantile in that bucket.
+        let mut one = LatencyHistogram::default();
+        one.record(1000);
+        let b = bucket_index(1000);
+        for q in [0.0, 0.5, 1.0] {
+            let v = one.quantile(q);
+            assert!(v >= bucket_low(b) && v <= bucket_high(b), "q={q} v={v}");
+        }
+    }
+
+    #[test]
+    fn snapshot_json_has_latency_quantiles() {
+        let m = CoreMetrics::new(true);
+        m.record_hist(OpKind::MallocSmall, 500);
+        m.record_hist(OpKind::MallocSmall, 900);
+        let j = m.snapshot().to_json();
+        assert!(j.contains("\"latency\":{\"malloc_small\":{\"count\":2,\"p50\":"), "{j}");
+        assert!(j.contains("\"p999\":"), "{j}");
     }
 
     #[test]

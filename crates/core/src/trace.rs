@@ -232,6 +232,14 @@ impl TraceRecorder {
     /// time in `args`), everything else to `i` instants. Timestamps are
     /// the emitting thread's virtual-clock microseconds.
     pub fn chrome_json(&self) -> String {
+        self.chrome_json_with(&[])
+    }
+
+    /// [`TraceRecorder::chrome_json`] with extra pre-rendered trace-event
+    /// objects appended to the `traceEvents` array — how the timeline
+    /// sampler's counter tracks ([`crate::observe`]) merge into the same
+    /// document as the flight-recorder event stream.
+    pub fn chrome_json_with(&self, extras: &[String]) -> String {
         let mut events = Vec::new();
         for e in self.merged() {
             let Some(kind) = EventKind::from_code(e.code) else { continue };
@@ -269,6 +277,7 @@ impl TraceRecorder {
             o.field_raw("args", &args.finish());
             events.push(o.finish());
         }
+        events.extend(extras.iter().cloned());
         let mut doc = json::JsonObj::new();
         doc.field_raw("traceEvents", &format!("[{}]", events.join(",")));
         doc.field_str("displayTimeUnit", "ns");

@@ -340,10 +340,10 @@ fn lint_file(
         let in_skip = skip_above.is_some();
 
         if !in_skip && !code.is_empty() {
-            if code.starts_with("#[cfg(test)]") {
+            if let Some(rest) = code.strip_prefix("#[cfg(test)]") {
                 pending_test_attr = true;
                 // `#[cfg(test)] mod x { … }` on one line still enters.
-                if is_mod_item(&code["#[cfg(test)]".len()..]) {
+                if is_mod_item(rest) {
                     skip_above = Some(depth);
                     pending_test_attr = false;
                 }
@@ -439,8 +439,8 @@ fn run_rules(
     if scope.collect_repr && l.code.contains("#[repr(C)]") {
         // The type name is on this line or one of the next few
         // (attributes/derives may sit in between).
-        for j in i..lines.len().min(i + 6) {
-            if let Some(name) = type_name_in(&lines[j].code) {
+        for near in lines.iter().take(lines.len().min(i + 6)).skip(i) {
+            if let Some(name) = type_name_in(&near.code) {
                 repr_types.push((name, vpath.to_string(), lineno));
                 break;
             }

@@ -119,8 +119,44 @@ impl FragResult {
     }
 }
 
+/// One externally sampled point of a [`run_sampled`] churn run.
+///
+/// The allocator-agnostic fragmentation-over-time series of the
+/// `fig_frag_timeline` experiment: the baselines have no timeline
+/// sampler, so the driving thread polls mapped/live itself. Virtual-clock
+/// reads never advance the clock, so sampling does not perturb the run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnPoint {
+    /// Operations (allocs + frees) completed so far.
+    pub ops: u64,
+    /// The driving thread's virtual-clock reading.
+    pub ns: u64,
+    /// Mapped heap bytes at the sample.
+    pub mapped: usize,
+    /// Live (requested) bytes at the sample — Fig. 1b's denominator.
+    pub live: usize,
+}
+
 /// Run one Fragbench workload single-threaded (as in the paper's Fig. 1b).
 pub fn run(alloc: &Arc<dyn PmAllocator>, w: Workload, p: Params) -> FragResult {
+    run_sampled(alloc, w, p, u64::MAX, &mut |_| {})
+}
+
+fn point(alloc: &Arc<dyn PmAllocator>, t: &dyn AllocThread, ops: u64, live: usize) -> ChurnPoint {
+    ChurnPoint { ops, ns: t.pm().virtual_ns(), mapped: alloc.heap_mapped_bytes(), live }
+}
+
+/// [`run`] with a sampling hook: after every `every_ops`-th operation,
+/// `sink` receives a [`ChurnPoint`] (pass `u64::MAX` to never sample).
+/// The hook does not touch the RNG or the operation stream, so a sampled
+/// run performs exactly the same allocator work as an unsampled one.
+pub fn run_sampled(
+    alloc: &Arc<dyn PmAllocator>,
+    w: Workload,
+    p: Params,
+    every_ops: u64,
+    sink: &mut dyn FnMut(ChurnPoint),
+) -> FragResult {
     alloc.pool().stats().reset();
     let m0 = alloc.metrics();
     let mut t = alloc.thread();
@@ -131,6 +167,7 @@ pub fn run(alloc: &Arc<dyn PmAllocator>, w: Workload, p: Params) -> FragResult {
     let mut live_bytes = 0usize;
     let mut free_slots: Vec<usize> = (0..roots).rev().collect();
     let mut ops = 0u64;
+    let every = every_ops.max(1);
 
     let phase = |t: &mut Box<dyn AllocThread>,
                  rng: &mut SmallRng,
@@ -138,7 +175,8 @@ pub fn run(alloc: &Arc<dyn PmAllocator>, w: Workload, p: Params) -> FragResult {
                  live_bytes: &mut usize,
                  free_slots: &mut Vec<usize>,
                  dist: SizeDist,
-                 ops: &mut u64| {
+                 ops: &mut u64,
+                 sink: &mut dyn FnMut(ChurnPoint)| {
         let mut allocated = 0usize;
         while allocated < p.total_bytes {
             let size = dist.sample(rng);
@@ -150,6 +188,9 @@ pub fn run(alloc: &Arc<dyn PmAllocator>, w: Workload, p: Params) -> FragResult {
                 *live_bytes -= sz;
                 free_slots.push(slot);
                 *ops += 1;
+                if ops.is_multiple_of(every) {
+                    sink(point(alloc, &**t, *ops, *live_bytes));
+                }
             }
             let slot = free_slots.pop().expect("enough root slots");
             t.malloc_to(size, alloc.root_offset(slot)).expect("alloc");
@@ -157,11 +198,14 @@ pub fn run(alloc: &Arc<dyn PmAllocator>, w: Workload, p: Params) -> FragResult {
             *live_bytes += size;
             allocated += size;
             *ops += 1;
+            if ops.is_multiple_of(every) {
+                sink(point(alloc, &**t, *ops, *live_bytes));
+            }
         }
     };
 
     // Before.
-    phase(&mut t, &mut rng, &mut live, &mut live_bytes, &mut free_slots, w.before, &mut ops);
+    phase(&mut t, &mut rng, &mut live, &mut live_bytes, &mut free_slots, w.before, &mut ops, sink);
     // Delete.
     let del = (live.len() as f64 * w.delete_ratio) as usize;
     for _ in 0..del {
@@ -171,9 +215,12 @@ pub fn run(alloc: &Arc<dyn PmAllocator>, w: Workload, p: Params) -> FragResult {
         live_bytes -= sz;
         free_slots.push(slot);
         ops += 1;
+        if ops.is_multiple_of(every) {
+            sink(point(alloc, &*t, ops, live_bytes));
+        }
     }
     // After.
-    phase(&mut t, &mut rng, &mut live, &mut live_bytes, &mut free_slots, w.after, &mut ops);
+    phase(&mut t, &mut rng, &mut live, &mut live_bytes, &mut free_slots, w.after, &mut ops, sink);
 
     let elapsed_ns = t.pm().virtual_ns() + ops * crate::harness::CPU_NS_PER_OP;
     drop(t); // merge the thread's telemetry histograms before snapshotting
@@ -227,6 +274,24 @@ mod tests {
             n.peak_mapped,
             b.peak_mapped
         );
+    }
+
+    #[test]
+    fn sampled_run_is_observationally_identical_to_unsampled() {
+        let plain = run_tiny(Which::NvallocLog, TABLE1[2]);
+        let pool =
+            PmemPool::new(PmemConfig::default().pool_size(64 << 20).latency_mode(LatencyMode::Off));
+        let a = Which::NvallocLog.create_with_roots(pool, 1 << 17);
+        let mut pts: Vec<ChurnPoint> = Vec::new();
+        let sampled = run_sampled(&a, TABLE1[2], Params::tiny(), 500, &mut |pt| pts.push(pt));
+        // The hook only reads; the allocator work is identical.
+        assert_eq!(sampled.measurement.ops, plain.measurement.ops);
+        assert_eq!(sampled.final_live, plain.final_live);
+        assert_eq!(sampled.peak_mapped, plain.peak_mapped);
+        assert!(!pts.is_empty(), "tiny run at every=500 must sample");
+        assert!(pts.windows(2).all(|w| w[0].ops < w[1].ops), "ops strictly increase");
+        assert!(pts.iter().all(|pt| pt.live <= Params::tiny().live_cap));
+        assert!(pts.iter().all(|pt| pt.mapped >= pt.live), "mapped covers live data");
     }
 
     #[test]

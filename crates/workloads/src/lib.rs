@@ -112,8 +112,28 @@ pub mod allocators {
             trace: bool,
             trace_events: usize,
         ) -> Arc<dyn PmAllocator> {
-            let cfg =
-                |c: NvConfig| c.roots(roots).trace(trace).trace_events_per_thread(trace_events);
+            self.create_observed(pool, roots, trace, trace_events, 0)
+        }
+
+        /// Like [`Which::create_traced`], additionally switching the
+        /// NVAlloc heap-observatory timeline sampler on when
+        /// `timeline_ns` is non-zero (the tick interval in virtual
+        /// nanoseconds). The baselines have neither a flight recorder
+        /// nor a sampler; they ignore all three knobs.
+        pub fn create_observed(
+            self,
+            pool: Arc<PmemPool>,
+            roots: usize,
+            trace: bool,
+            trace_events: usize,
+            timeline_ns: u64,
+        ) -> Arc<dyn PmAllocator> {
+            let cfg = |c: NvConfig| {
+                c.roots(roots)
+                    .trace(trace)
+                    .trace_events_per_thread(trace_events)
+                    .timeline(timeline_ns)
+            };
             match self {
                 Which::NvallocLog => {
                     Arc::new(NvAllocator::create(pool, cfg(NvConfig::log())).expect("create"))
