@@ -54,6 +54,11 @@ pub struct Scale {
     /// measure the same modelled work (the sanitizer only observes the
     /// persistence stream) but pay its DRAM/atomics overhead.
     pub pmsan: bool,
+    /// Run the allocator-service comparison (`--service`): experiments
+    /// that honour it (currently Fig. 22) add a second NVAlloc series
+    /// built with `NvConfig::service(true)`, so the service-on/off tail
+    /// latencies come from one binary invocation.
+    pub service: bool,
 }
 
 impl Scale {
@@ -125,8 +130,9 @@ impl Scale {
                         args[i].parse().expect("--timeline-interval takes virtual nanoseconds");
                 }
                 "--pmsan" => s.pmsan = true,
+                "--service" => s.service = true,
                 other => panic!(
-                    "unknown flag {other} (try --quick/--full/--threads 1,2,4/--ops 10000/--json out.jsonl/--trace t.json/--trace-events 1000000/--timeline tl.jsonl/--timeline-interval 50000/--save-pool p.heap/--pmsan)"
+                    "unknown flag {other} (try --quick/--full/--threads 1,2,4/--ops 10000/--json out.jsonl/--trace t.json/--trace-events 1000000/--timeline tl.jsonl/--timeline-interval 50000/--save-pool p.heap/--pmsan/--service)"
                 ),
             }
             i += 1;
@@ -242,6 +248,7 @@ impl Default for Scale {
             timeline: None,
             timeline_interval: 50_000,
             pmsan: false,
+            service: false,
         }
     }
 }

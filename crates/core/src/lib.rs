@@ -62,6 +62,7 @@ pub mod observe;
 mod recovery;
 mod remote;
 mod rtree;
+pub mod service;
 mod shards;
 mod size_class;
 mod slab;

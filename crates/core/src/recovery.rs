@@ -202,6 +202,7 @@ pub(crate) fn recover(
             cfg.timeline_capacity,
         ))
     });
+    let service = cfg.service.then(|| crate::service::ServiceState::new(cfg.service_tick_ns));
     let alloc = NvAllocator(Arc::new(NvInner {
         pool,
         cfg,
@@ -216,7 +217,9 @@ pub(crate) fn recover(
         tracer,
         slab_gates,
         observe,
+        service,
     }));
+    alloc.maybe_spawn_service();
     Ok((alloc, report))
 }
 

@@ -1,0 +1,474 @@
+//! The allocator service: asynchronous slow-path offload with
+//! epoch-driven maintenance.
+//!
+//! NVAlloc's log-structured metadata (§5.3) makes slow-path work —
+//! slab carves, extent retires, booklog slow-GC, morph scans —
+//! batchable and replayable, but by default all of it runs inline on
+//! the application thread's malloc/free path. With
+//! [`crate::NvConfig::service`] on, worker threads instead *submit*
+//! that work over per-arena MPSC request queues (a [`ServiceQueue`],
+//! generalizing the remote-free Treiber stacks of [`crate::remote`])
+//! and continue on their tcache; completions return through the slab
+//! reservoir, where the next refill picks them up without touching a
+//! shard lock.
+//!
+//! # The epoch tick
+//!
+//! Queued requests are executed by an **epoch tick**
+//! ([`service_step`]) that also performs incremental maintenance:
+//!
+//! * drains idle arenas' remote-free queues (so deferred cross-arena
+//!   frees no longer wait for the owner's next malloc slow path);
+//! * executes queued `Carve`/`Retire` requests against the reservoir;
+//! * scans arenas for morph candidates (sparse slabs below the
+//!   space-utilisation threshold);
+//! * runs per-shard booklog slow-GC when due and the mimalloc-style
+//!   deferred extent-decay schedule (the existing `decay_epochs`
+//!   counter);
+//! * rebalances the large-shard overflow preference from the
+//!   per-shard `large_shard_acquires`/`contended` telemetry.
+//!
+//! # Determinism contract
+//!
+//! Every persistent transition stays on the existing WAL/booklog
+//! protocols — the service only changes *who* executes them. On
+//! wall-clock pools ([`nvalloc_pmem::LatencyMode::Sleep`]) a dedicated
+//! thread paces the ticks. On virtual-clock pools **no thread is
+//! spawned**: ticks are claimed at operation boundaries from the
+//! virtual PM clock (one CAS per boundary, exactly one winner — the
+//! same discipline as the timeline sampler), and tests may pump
+//! [`crate::NvAllocator::service_step`] directly. Same-seed runs with
+//! the service enabled are therefore byte-identical, and crash-matrix
+//! / pmsan runs can sanitize every handoff.
+//!
+//! # Crash safety of deferred retires
+//!
+//! A `Retire` is submitted only after the worker has dismantled the
+//! frame under its exclusive slab gate: header scrubbed, rtree range
+//! removed. From that point the frame is indistinguishable from a
+//! parked reservoir frame — invisible to frees, and a crash image
+//! reclaims it through the leaked-extent sweep — so losing the
+//! volatile queue loses nothing. The service's `large.free` merely
+//! releases the extent earlier than recovery would.
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use nvalloc_pmem::{FlushKind, PmError, PmThread};
+use parking_lot::Mutex;
+
+use crate::arena::Arena;
+use crate::front::NvInner;
+use crate::large::VehId;
+use crate::size_class::SLAB_SIZE;
+use crate::telemetry::Counter;
+
+/// One deferred slow-path request, submitted by a worker thread to its
+/// slab's owning arena queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceRequest {
+    /// Restock the arena's slab reservoir with one carved frame (the
+    /// submitting refill saw the reservoir below its low-water mark).
+    Carve,
+    /// Release a retired slab frame's extent back to the large
+    /// allocator. The frame is already dismantled (scrubbed header, no
+    /// rtree range); only the extent release is deferred.
+    Retire {
+        /// The retired frame's extent handle (routes to its shard).
+        veh: VehId,
+    },
+}
+
+struct Node {
+    item: ServiceRequest,
+    next: *mut Node,
+}
+
+/// A multi-producer single-consumer Treiber stack of service requests
+/// (one per arena), the request-side counterpart of
+/// [`crate::remote::RemoteFreeQueue`].
+///
+/// `push` is lock-free and safe from any thread; `drain` detaches every
+/// queued entry at once and is intended to be called by a thread that
+/// holds the owning arena's lock (the single-consumer side — the epoch
+/// tick, a quiescing thread, or shutdown).
+#[derive(Debug)]
+pub struct ServiceQueue {
+    head: AtomicPtr<Node>,
+}
+
+impl Default for ServiceQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        ServiceQueue { head: AtomicPtr::new(ptr::null_mut()) }
+    }
+
+    /// Push one request (lock-free, any thread).
+    pub fn push(&self, item: ServiceRequest) {
+        let node = Box::into_raw(Box::new(Node { item, next: ptr::null_mut() }));
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` is ours until the CAS publishes it.
+            unsafe { (*node).next = head };
+            match self.head.compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// True when no requests are queued (racy, advisory: a concurrent
+    /// push may land right after the load).
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire).is_null()
+    }
+
+    /// Number of queued requests (advisory — the timeline sampler's
+    /// queue-depth gauge). Walks the chain without detaching it;
+    /// entries pushed after the head load are not counted.
+    ///
+    /// The caller must hold the owning arena's lock: nodes are freed
+    /// only by [`ServiceQueue::drain`], whose single consumer also runs
+    /// under that lock, so holding it keeps the chain alive for the
+    /// walk. (Concurrent lock-free pushes only prepend ahead of the
+    /// loaded head and are simply not counted.)
+    pub fn len(&self) -> usize {
+        let mut p = self.head.load(Ordering::Acquire);
+        let mut n = 0;
+        while !p.is_null() {
+            // SAFETY: per the contract above the caller holds the arena
+            // lock, which excludes the only code path that frees nodes.
+            p = unsafe { (*p).next };
+            n += 1;
+        }
+        n
+    }
+
+    /// Detach and return every queued request, in LIFO push order.
+    ///
+    /// Single-consumer: the caller must be the unique drainer (in the
+    /// allocator, that uniqueness comes from holding the arena lock).
+    /// Detaching with one `swap` means concurrent pushes either make it
+    /// into this batch or stay queued for the next — no request is
+    /// lost.
+    pub fn drain(&self) -> Vec<ServiceRequest> {
+        let mut p = self.head.swap(ptr::null_mut(), Ordering::Acquire);
+        let mut out = Vec::new();
+        while !p.is_null() {
+            // SAFETY: the swap gave us exclusive ownership of the chain.
+            let node = unsafe { Box::from_raw(p) };
+            out.push(node.item);
+            p = node.next;
+        }
+        out
+    }
+}
+
+impl Drop for ServiceQueue {
+    fn drop(&mut self) {
+        // Free any still-queued nodes. Dropping a pending `Retire` is
+        // benign by construction (see the module docs): the frame's
+        // extent is reclaimed by the next recovery's leak sweep.
+        self.drain();
+    }
+}
+
+// SAFETY: the queue owns heap nodes reachable only through `head`;
+// publication is ordered by the Release CAS / Acquire swap pair.
+unsafe impl Send for ServiceQueue {}
+unsafe impl Sync for ServiceQueue {}
+
+/// Shared service state hanging off the allocator: the epoch-tick
+/// claim word plus the (optional) dedicated thread's lifecycle.
+#[derive(Debug)]
+pub(crate) struct ServiceState {
+    /// Epoch-tick interval (virtual ns on virtual-clock pools,
+    /// wall-clock ns for the dedicated thread).
+    tick_ns: u64,
+    /// Virtual timestamp of the next tick boundary; claimed by CAS so
+    /// exactly one worker executes each boundary's tick.
+    next_due: AtomicU64,
+    /// A dedicated thread paces the ticks; cooperative claims are off.
+    threaded: AtomicBool,
+    /// Tells the dedicated thread to exit.
+    shutdown: AtomicBool,
+    /// The dedicated thread's handle, joined by [`ServiceState::stop`].
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ServiceState {
+    pub(crate) fn new(tick_ns: u64) -> ServiceState {
+        let tick_ns = tick_ns.max(1);
+        ServiceState {
+            tick_ns,
+            next_due: AtomicU64::new(tick_ns),
+            threaded: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            handle: Mutex::new(None),
+        }
+    }
+
+    /// Cheap pre-check: has the virtual clock crossed the next tick
+    /// boundary? (One relaxed load on the per-operation path.)
+    #[inline]
+    pub(crate) fn due(&self, now: u64) -> bool {
+        now >= self.next_due.load(Ordering::Relaxed)
+    }
+
+    /// Claim the boundary at `now`: the single CAS winner runs the
+    /// tick; everyone else keeps going. Mirrors the timeline sampler's
+    /// exactly-once-per-boundary discipline.
+    pub(crate) fn claim(&self, now: u64) -> bool {
+        loop {
+            let due = self.next_due.load(Ordering::Relaxed);
+            if now < due {
+                return false;
+            }
+            let next = (now / self.tick_ns) * self.tick_ns + self.tick_ns;
+            if self
+                .next_due
+                .compare_exchange(due, next, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    /// True while a dedicated service thread paces the ticks
+    /// (cooperative boundary claims stand down).
+    #[inline]
+    pub(crate) fn threaded(&self) -> bool {
+        self.threaded.load(Ordering::Relaxed)
+    }
+
+    /// Stop and join the dedicated thread, if one is running.
+    pub(crate) fn stop(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        let handle = self.handle.lock().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+        self.threaded.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Spawn the dedicated service thread (wall-clock pools only). The
+/// thread holds a `Weak` reference: it terminates on its own within
+/// one tick of the allocator dropping, and [`ServiceState::stop`]
+/// (called from `exit()`) shuts it down synchronously.
+pub(crate) fn spawn(inner: &Arc<NvInner>) {
+    let svc = inner.service.as_ref().expect("service state");
+    svc.threaded.store(true, Ordering::Relaxed);
+    let weak: Weak<NvInner> = Arc::downgrade(inner);
+    // Wall-clock pacing is the point of the dedicated thread; virtual
+    // pools never reach here (their ticks ride the virtual clock).
+    let tick = std::time::Duration::from_nanos(svc.tick_ns); // nvalloc-lint: allow(determinism)
+    let handle = std::thread::Builder::new()
+        .name("nvalloc-service".into())
+        .spawn(move || {
+            let mut t = None;
+            loop {
+                std::thread::sleep(tick);
+                let Some(inner) = weak.upgrade() else { break };
+                let svc = inner.service.as_ref().expect("service state");
+                if svc.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let t = t.get_or_insert_with(|| inner.pool.register_thread());
+                service_step(&inner, t);
+            }
+        })
+        .expect("spawn allocator service thread");
+    *svc.handle.lock() = Some(handle);
+}
+
+/// One epoch tick: drain idle arenas' remote queues, execute queued
+/// carve/retire requests, scan for morph candidates, run per-shard
+/// booklog slow-GC + extent decay, and rebalance the shard overflow
+/// preference. Returns the number of requests completed.
+///
+/// Non-blocking with respect to workers: arenas are visited with
+/// `try_lock` only, so a worker mid-refill is never stalled; skipped
+/// queues keep until the next tick (or the owner's own drain).
+pub(crate) fn service_step(inner: &NvInner, t: &mut PmThread) -> u64 {
+    if inner.service.is_none() {
+        return 0;
+    }
+    inner.metrics.bump(Counter::ServiceTicks);
+    let mut completed = 0u64;
+    for arena in &inner.arenas {
+        let Some(mut ai) = arena.inner.try_lock() else { continue };
+        if !arena.remote.is_empty() && inner.drain_remote(t, arena, &mut ai) > 0 {
+            // The service is never the draining arena's owner thread.
+            inner.metrics.bump(Counter::RemoteDrainForeign);
+        }
+        completed += drain_requests(inner, t, arena, &mut ai);
+        scan_morph_candidates(inner, &ai);
+    }
+    // Incremental per-shard maintenance: booklog slow-GC when the dead
+    // ratio crossed its threshold, plus the wall-clock extent-decay
+    // schedule (`decay_epochs`). try_lock inside — busy shards wait
+    // for the next epoch.
+    inner.large.maintain(&inner.pool, t);
+    if inner.large.rebalance() {
+        inner.metrics.bump(Counter::ServiceRebalances);
+    }
+    // Persistent work above (frame scrubs, extent releases, GC copies)
+    // must not leave the epoch with dangling flushes.
+    inner.pool.fence_pending(t);
+    completed
+}
+
+/// Execute every queued request for `arena`. The caller holds the
+/// arena lock (`ai`), making it the queue's single consumer; shutdown
+/// paths (`quiesce`/`exit`) call this directly so no retire or carve
+/// is left pending across an orderly stop.
+pub(crate) fn drain_requests(
+    inner: &NvInner,
+    t: &mut PmThread,
+    arena: &Arena,
+    ai: &mut crate::arena::ArenaInner,
+) -> u64 {
+    let reqs = arena.service.drain();
+    if reqs.is_empty() {
+        return 0;
+    }
+    let mut completed = 0u64;
+    for req in reqs {
+        match req {
+            ServiceRequest::Carve => {
+                if restock_one(inner, t, arena, ai) {
+                    completed += 1;
+                }
+            }
+            ServiceRequest::Retire { veh } => {
+                // The submitting thread already dismantled the frame
+                // under its exclusive gate; releasing the extent is all
+                // that is deferred (and all a crash would skip).
+                if inner.large.free(&inner.pool, t, veh).is_ok() {
+                    completed += 1;
+                }
+            }
+        }
+    }
+    inner.metrics.add(Counter::ServiceCompletions, completed);
+    completed
+}
+
+/// Carve one slab frame into `arena`'s reservoir, probing shards in
+/// the arena's preference order. Stale requests (the reservoir
+/// refilled or the knob is off) complete as no-ops.
+fn restock_one(
+    inner: &NvInner,
+    t: &mut PmThread,
+    arena: &Arena,
+    ai: &mut crate::arena::ArenaInner,
+) -> bool {
+    if inner.cfg.slab_reservoir == 0 || ai.reservoir.len() >= inner.cfg.slab_reservoir {
+        return false;
+    }
+    for s in inner.large.shard_order(arena.id as usize) {
+        let mut large = inner.large.lock(s);
+        match large.alloc_aligned(&inner.pool, t, SLAB_SIZE, SLAB_SIZE, true) {
+            Ok((veh, off)) => {
+                inner.metrics.bump(Counter::SlabAllocs);
+                // Park it exactly like a batch-carved reservoir frame:
+                // scrubbed header, no rtree range — invisible to frees,
+                // reclaimed as a leak by crash recovery.
+                inner.pool.persist_u64(t, off, 0, FlushKind::Meta);
+                inner.rtree.remove_range(off, SLAB_SIZE);
+                ai.reservoir.push((veh, off));
+                return true;
+            }
+            Err(PmError::OutOfMemory { .. }) => continue,
+            Err(_) => return false,
+        }
+    }
+    false
+}
+
+/// Count slabs whose occupancy sits at or below the morph
+/// space-utilisation threshold (read-only; the actual transform still
+/// happens on a refill that wants the space, under the same arena
+/// lock). Feeds the `morph_candidates` telemetry so sparse heaps are
+/// visible between refills.
+fn scan_morph_candidates(inner: &NvInner, ai: &crate::arena::ArenaInner) {
+    if !inner.cfg.morphing {
+        return;
+    }
+    let mut cands = 0u64;
+    for vs in ai.slabs.values() {
+        if vs.morph.is_none() && vs.nblocks > 0 && vs.nfree < vs.nblocks {
+            let su = (vs.nblocks - vs.nfree) as f64 / vs.nblocks as f64;
+            if su <= inner.cfg.su_threshold {
+                cands += 1;
+            }
+        }
+    }
+    inner.metrics.add(Counter::MorphCandidates, cands);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_push_drain_roundtrip() {
+        let q = ServiceQueue::new();
+        assert!(q.is_empty());
+        q.push(ServiceRequest::Carve);
+        q.push(ServiceRequest::Retire { veh: 7 });
+        assert!(!q.is_empty());
+        let items = q.drain();
+        // LIFO push order.
+        assert_eq!(items, vec![ServiceRequest::Retire { veh: 7 }, ServiceRequest::Carve]);
+        assert!(q.is_empty());
+        assert!(q.drain().is_empty());
+    }
+
+    #[test]
+    fn queue_concurrent_pushes_all_arrive() {
+        let q = std::sync::Arc::new(ServiceQueue::new());
+        let threads = 8;
+        let per = 500u32;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let q = std::sync::Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..per {
+                        q.push(ServiceRequest::Retire { veh: t * 1000 + i });
+                    }
+                });
+            }
+        });
+        let items = q.drain();
+        assert_eq!(items.len(), (threads * per) as usize);
+        let mut seen = std::collections::HashSet::new();
+        for it in items {
+            assert!(seen.insert(it));
+        }
+    }
+
+    #[test]
+    fn claim_is_exactly_once_per_boundary() {
+        let s = ServiceState::new(100);
+        assert!(!s.due(99), "before the first boundary");
+        assert!(s.due(100));
+        assert!(s.claim(100), "first claimer wins");
+        assert!(!s.claim(100), "same boundary cannot be claimed twice");
+        assert!(!s.due(150));
+        // Jumping several boundaries claims once and re-arms past `now`.
+        assert!(s.claim(450));
+        assert!(!s.due(499));
+        assert!(s.due(500));
+    }
+}

@@ -46,6 +46,7 @@ const PERSISTENCE_ALLOWLIST: &[&str] = &[
     "large.rs",
     "morph.rs",
     "recovery.rs",
+    "service.rs",
     "slab.rs",
     "wal.rs",
 ];

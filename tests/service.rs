@@ -1,0 +1,407 @@
+//! Allocator service thread: determinism, crash safety, sanitizer
+//! cleanliness, telemetry surfacing, and the stranded-remote-queue
+//! regression.
+//!
+//! The service only changes *who* executes slow paths — every persistent
+//! transition stays on the existing WAL/booklog protocols — so a
+//! service-enabled pool must recover from any crash prefix exactly as a
+//! service-off pool would, and same-seed virtual-clock runs must stay
+//! byte-identical. On `LatencyMode::Off` pools the virtual clock never
+//! reaches the first tick boundary, so these suites drive every epoch
+//! tick explicitly through [`NvAllocator::service_step`] and sanitize /
+//! crash-enumerate each handoff at chosen points.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use nvalloc::api::PmAllocator;
+use nvalloc::{NvAllocator, NvConfig};
+use nvalloc_pmem::{FlushKind, LatencyMode, PmemConfig, PmemPool};
+
+fn virtual_pool(mb: usize, pmsan: bool) -> Arc<PmemPool> {
+    PmemPool::new(
+        PmemConfig::default().pool_size(mb << 20).latency_mode(LatencyMode::Virtual).pmsan(pmsan),
+    )
+}
+
+/// Block size (bytes) used by the slab-churn phases: ~54 blocks per
+/// 64 KiB slab, so a few hundred allocations span several slabs and a
+/// full free phase retires more frames than the reservoir (8) can park —
+/// every extra retirement becomes a `ServiceRequest::Retire`, and the
+/// reservoir refills through `Carve` requests.
+const BLOCK: usize = 1200;
+
+/// Allocate `n` payload-stamped blocks into roots `0..n`, then free them
+/// all, pumping one explicit service tick every `step_every` operations
+/// (0 = never). Exercises both request kinds: frees retire whole slabs
+/// past the reservoir (Retire), reservoir refills below the low-water
+/// mark queue carves (Carve).
+fn slab_churn(alloc: &NvAllocator, pool: &PmemPool, n: usize, step_every: usize) {
+    let mut t = alloc.thread();
+    for i in 0..n {
+        let addr = t.malloc_to(BLOCK, alloc.root_offset(i)).unwrap();
+        pool.write_u64(addr, i as u64 ^ 0xA110C);
+        pool.flush(t.pm_mut(), addr, 8, FlushKind::Data);
+        pool.fence(t.pm_mut());
+        if step_every > 0 && i % step_every == step_every - 1 {
+            alloc.service_step();
+        }
+    }
+    for i in 0..n {
+        t.free_from(alloc.root_offset(i)).unwrap();
+        if step_every > 0 && i % step_every == step_every - 1 {
+            alloc.service_step();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite: stranded remote queues (regression).
+// ---------------------------------------------------------------------
+
+/// An arena whose threads have all exited has no malloc slow path left
+/// to drain its remote-free queue; `quiesce()` must be the foreign drain
+/// of last resort and count it as such.
+#[test]
+fn quiesce_drains_stranded_remote_queue_of_exited_thread() {
+    let pool = virtual_pool(96, false);
+    let alloc = NvAllocator::create(Arc::clone(&pool), NvConfig::log().arenas(2).roots(8)).unwrap();
+    // Least-loaded assignment pins t0 to arena 0 and t1 to arena 1.
+    let mut t0 = alloc.thread();
+    let mut t1 = alloc.thread();
+    let addr = t0.malloc_to(64, alloc.root_offset(0)).unwrap();
+    assert_ne!(addr, 0);
+    // Arena 0 now has zero registered threads; a foreign free of its
+    // block lands on its remote queue, and with the owner gone nothing
+    // ever drains it on a malloc slow path.
+    drop(t0);
+    t1.free_from(alloc.root_offset(0)).unwrap();
+    drop(t1);
+    let before = alloc.metrics();
+    assert_eq!(before.free_remote, 1, "the foreign free must have taken the remote path");
+    assert_eq!(before.remote_drain_foreign, 0, "nothing drained it yet");
+    alloc.quiesce();
+    let after = alloc.metrics();
+    assert_eq!(
+        after.remote_drain_foreign,
+        before.remote_drain_foreign + 1,
+        "quiesce must count the stranded-queue drain as a foreign drain"
+    );
+    assert_eq!(alloc.live_bytes(), 0);
+    // The queue is empty now: a second quiesce finds nothing stranded.
+    alloc.quiesce();
+    assert_eq!(alloc.metrics().remote_drain_foreign, after.remote_drain_foreign);
+}
+
+// ---------------------------------------------------------------------
+// Satellite: service telemetry surfacing.
+// ---------------------------------------------------------------------
+
+#[test]
+fn service_counters_surface_in_snapshot_json_and_timeline() {
+    let pool = virtual_pool(96, false);
+    let cfg = NvConfig::log()
+        .roots(1024)
+        .service(true)
+        .service_tick_ns(5_000)
+        .timeline(10_000)
+        .decay_ms(u64::MAX);
+    let alloc = NvAllocator::create(Arc::clone(&pool), cfg).unwrap();
+    slab_churn(&alloc, &pool, 600, 50);
+    let m = alloc.metrics();
+    assert!(m.service_ticks > 0, "explicit steps and virtual-clock ticks must both count");
+    assert!(m.service_requests > 0, "slab churn past the reservoir must queue requests");
+    assert!(m.service_completions > 0, "ticks must execute queued requests");
+    assert!(
+        m.service_completions <= m.service_requests,
+        "stale requests complete as no-ops, never over-count: {} > {}",
+        m.service_completions,
+        m.service_requests
+    );
+    let json = m.to_json();
+    for key in [
+        "\"service_requests\":",
+        "\"service_completions\":",
+        "\"service_ticks\":",
+        "\"service_rebalances\":",
+    ] {
+        assert!(json.contains(key), "metrics JSON missing {key}");
+    }
+    // The timeline sampler exports the per-arena queue-depth gauge.
+    let tl = alloc.timeline_json().expect("sampler on");
+    assert!(!tl.is_empty());
+    for line in tl.lines() {
+        assert!(line.contains("\"service_depth\":"), "sample missing service_depth: {line}");
+    }
+}
+
+#[test]
+fn service_off_pools_never_tick_and_step_is_a_noop() {
+    let pool = virtual_pool(96, false);
+    let alloc = NvAllocator::create(Arc::clone(&pool), NvConfig::log().roots(1024)).unwrap();
+    assert_eq!(alloc.service_step(), 0, "service off: step must be a no-op");
+    slab_churn(&alloc, &pool, 300, 0);
+    let m = alloc.metrics();
+    assert_eq!(m.service_ticks, 0);
+    assert_eq!(m.service_requests, 0);
+    assert_eq!(m.service_completions, 0);
+}
+
+// ---------------------------------------------------------------------
+// Satellite: determinism under the virtual clock.
+// ---------------------------------------------------------------------
+
+/// Deterministic single-threaded churn in the style of the observatory
+/// suite: slab-heavy traffic plus occasional large blocks, driven by a
+/// tiny seeded LCG (self-contained so this trace never changes).
+fn churn_mixed(alloc: &NvAllocator, ops: usize, seed: u64) {
+    const SLOTS: usize = 64;
+    let mut t = alloc.thread();
+    let mut x = seed | 1;
+    let mut live = [false; SLOTS];
+    for _ in 0..ops {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let slot = (x >> 33) as usize % SLOTS;
+        let root = alloc.root_offset(slot);
+        if live[slot] {
+            t.free_from(root).unwrap();
+            live[slot] = false;
+        } else {
+            let size = if x.is_multiple_of(20) { 40 << 10 } else { 16 + (x >> 7) as usize % 2000 };
+            t.malloc_to(size, root).unwrap();
+            live[slot] = true;
+        }
+    }
+}
+
+fn deterministic_run(service: bool) -> NvAllocator {
+    let cfg = NvConfig::log()
+        .roots(64)
+        .timeline(10_000)
+        .decay_ms(u64::MAX)
+        .service(service)
+        .service_tick_ns(10_000);
+    let alloc = NvAllocator::create(virtual_pool(96, false), cfg).unwrap();
+    churn_mixed(&alloc, 6_000, 0x5EED);
+    alloc
+}
+
+#[test]
+fn service_enabled_same_seed_runs_are_byte_identical() {
+    let a = deterministic_run(true);
+    let b = deterministic_run(true);
+    assert!(
+        a.metrics().service_ticks > 0,
+        "virtual-clock churn must cross tick boundaries (tick=10us over a 6k-op run)"
+    );
+    let ja = a.timeline_json().expect("sampler on");
+    let jb = b.timeline_json().expect("sampler on");
+    assert!(ja.lines().count() > 5, "expected a real series");
+    assert_eq!(ja, jb, "same seed + service on: timelines must be byte-identical");
+    // And the full telemetry stream agrees too (wall-clock-driven lock
+    // profiling and decay excluded, as in the observatory suite).
+    let norm = |mut m: nvalloc::telemetry::MetricsSnapshot| {
+        m.lock_wait_ns = 0;
+        m.lock_hold_ns = 0;
+        m.lock_wait_hist = Default::default();
+        m.lock_hold_hist = Default::default();
+        m.decay_epochs = 0;
+        m
+    };
+    assert_eq!(norm(a.metrics()), norm(b.metrics()));
+}
+
+// ---------------------------------------------------------------------
+// Satellite: pmsan-sanitized service stepping.
+// ---------------------------------------------------------------------
+
+#[test]
+fn service_step_loop_is_pmsan_clean() {
+    let pool = virtual_pool(96, true);
+    let cfg = NvConfig::log().roots(1024).service(true).service_tick_ns(5_000);
+    let alloc = NvAllocator::create(Arc::clone(&pool), cfg).unwrap();
+    // Churn with a tight explicit tick cadence: every carve, retire,
+    // remote drain, slow-GC increment, and decay the service executes
+    // runs under the sanitizer's shadow state.
+    slab_churn(&alloc, &pool, 600, 10);
+    for _ in 0..32 {
+        alloc.service_step();
+    }
+    assert!(alloc.metrics().service_completions > 0, "the loop must sanitize real handoffs");
+    alloc.quiesce();
+    alloc.exit();
+    assert_eq!(
+        pool.pmsan_total(),
+        0,
+        "service handoffs broke persist ordering: {}",
+        pool.pmsan_report().expect("pmsan pool").to_json()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Satellite: crash-matrix prefix enumeration across service handoffs.
+// ---------------------------------------------------------------------
+
+/// One step of the handoff trace: allocate into a root slot, free a
+/// slot, or run one explicit service tick (the crash can land between a
+/// queued request and its execution, or right after execution).
+#[derive(Clone, Copy)]
+enum Op {
+    Alloc(usize),
+    Free(usize),
+    Step,
+}
+
+/// 320 allocations spanning ~7 slabs, then 320 frees retiring far more
+/// frames than the reservoir parks — with ticks interleaved so carves
+/// and retires flow through the service queue mid-trace.
+fn handoff_trace() -> Vec<Op> {
+    let mut ops = Vec::new();
+    for i in 0..320 {
+        ops.push(Op::Alloc(i));
+        if i % 16 == 15 {
+            ops.push(Op::Step);
+        }
+    }
+    for i in 0..320 {
+        ops.push(Op::Free(i));
+        if i % 8 == 7 {
+            ops.push(Op::Step);
+        }
+    }
+    ops
+}
+
+fn run_handoff_prefix(steps: usize) -> (Arc<PmemPool>, HashMap<usize, u64>) {
+    let pool = PmemPool::new(
+        PmemConfig::default()
+            .pool_size(96 << 20)
+            .latency_mode(LatencyMode::Off)
+            .crash_tracking(true)
+            .pmsan(true),
+    );
+    let cfg = NvConfig::log().roots(1024).service(true);
+    let alloc = NvAllocator::create(Arc::clone(&pool), cfg).unwrap();
+    let mut t = alloc.thread();
+    let mut live = HashMap::new();
+    for op in handoff_trace().into_iter().take(steps) {
+        match op {
+            Op::Alloc(slot) => {
+                let addr = t.malloc_to(BLOCK, alloc.root_offset(slot)).unwrap();
+                pool.write_u64(addr, slot as u64 | 0xE44 << 40);
+                pool.flush(t.pm_mut(), addr, 8, FlushKind::Data);
+                pool.fence(t.pm_mut());
+                live.insert(slot, addr);
+            }
+            Op::Free(slot) => {
+                t.free_from(alloc.root_offset(slot)).unwrap();
+                live.remove(&slot);
+            }
+            Op::Step => {
+                alloc.service_step();
+            }
+        }
+    }
+    (pool, live)
+}
+
+fn verify_handoff_recovery(pool: Arc<PmemPool>, live: &HashMap<usize, u64>, steps: usize) {
+    assert_eq!(
+        pool.pmsan_total(),
+        0,
+        "prefix {steps}: pre-crash trace has ordering violations: {}",
+        pool.pmsan_report().expect("pmsan pool").to_json()
+    );
+    let img = PmemPool::from_crash_image(pool.crash());
+    let cfg = NvConfig::log().roots(1024).service(true);
+    let (alloc, report) = NvAllocator::recover(Arc::clone(&img), cfg.clone())
+        .unwrap_or_else(|e| panic!("prefix {steps}: recovery failed: {e}"));
+    assert!(!report.normal_shutdown);
+    let rep = nvalloc::doctor::audit_pool(&img, &cfg);
+    assert!(rep.clean(), "prefix {steps}: doctor violations: {:?}", rep.violations);
+    // Every committed allocation survives with its payload — a deferred
+    // retire whose `large.free` had not run yet must never have taken a
+    // live slab with it.
+    for (&slot, &addr) in live {
+        assert_eq!(img.read_u64(alloc.root_offset(slot)), addr, "prefix {steps}: root {slot}");
+        assert_eq!(img.read_u64(addr), slot as u64 | 0xE44 << 40, "prefix {steps}: payload {slot}");
+    }
+    // No extent double-owned: live ranges are disjoint after recovery.
+    let mut objs = alloc.objects();
+    objs.sort_unstable();
+    for w in objs.windows(2) {
+        assert!(
+            w[0].0 + w[0].1 as u64 <= w[1].0,
+            "prefix {steps}: extent double-owned: {:#x}+{} overlaps {:#x}",
+            w[0].0,
+            w[0].1,
+            w[1].0
+        );
+    }
+    // Everything frees exactly once, and no extent was lost: frames that
+    // sat dismantled in the volatile service queue at the crash must be
+    // reallocatable after the leak sweep.
+    let mut t = alloc.thread();
+    for &slot in live.keys() {
+        t.free_from(alloc.root_offset(slot)).unwrap();
+        assert!(t.free_from(alloc.root_offset(slot)).is_err(), "prefix {steps}: double free");
+    }
+    assert_eq!(alloc.live_bytes(), 0, "prefix {steps}");
+    for i in 0..400usize {
+        t.malloc_to(BLOCK, alloc.root_offset(512 + i))
+            .unwrap_or_else(|e| panic!("prefix {steps}: post-recovery alloc {i}: {e}"));
+    }
+    assert_eq!(
+        img.pmsan_total(),
+        0,
+        "prefix {steps}: recovery + reuse churn has ordering violations: {}",
+        img.pmsan_report().expect("pmsan pool").to_json()
+    );
+}
+
+#[test]
+fn crash_matrix_across_service_handoffs() {
+    let len = handoff_trace().len();
+    // Coarse sweep over the whole trace plus a dense window around the
+    // free phase, where retires queue and execute back-to-back (slot
+    // 320..340 of the trace is mid-alloc; ~360 onward is the free/retire
+    // phase on this trace shape).
+    let mut points = vec![0, 3, 17, 40, 101, 170, 239, 288, 339, 340, 341, 420, 520, 620, len];
+    points.extend(460..472);
+    for steps in points {
+        let (pool, live) = run_handoff_prefix(steps);
+        verify_handoff_recovery(pool, &live, steps);
+    }
+}
+
+#[test]
+fn queued_requests_survive_quiesce_and_orderly_exit() {
+    // A quiesce must execute whatever sits in the service queues (the
+    // heap is "truly idle" afterwards), and an orderly exit of a
+    // service pool must save an image that recovers as a normal
+    // shutdown.
+    let pool = PmemPool::new(
+        PmemConfig::default()
+            .pool_size(96 << 20)
+            .latency_mode(LatencyMode::Off)
+            .crash_tracking(true),
+    );
+    let cfg = NvConfig::log().roots(1024).service(true);
+    let alloc = NvAllocator::create(Arc::clone(&pool), cfg.clone()).unwrap();
+    // Churn with *no* explicit steps: on an Off-clock pool the queue can
+    // only drain through quiesce/exit.
+    slab_churn(&alloc, &pool, 600, 0);
+    let m = alloc.metrics();
+    assert!(m.service_requests > 0, "churn must have queued requests");
+    alloc.quiesce();
+    let m2 = alloc.metrics();
+    assert!(
+        m2.service_completions > 0,
+        "quiesce must execute queued service requests ({} queued)",
+        m2.service_requests
+    );
+    alloc.exit();
+    let img = PmemPool::from_crash_image(pool.crash());
+    let (_alloc2, report) = NvAllocator::recover(img, cfg).unwrap();
+    assert!(report.normal_shutdown, "orderly exit of a service pool");
+}
