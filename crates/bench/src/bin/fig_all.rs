@@ -22,4 +22,5 @@ fn main() {
     e::fig_small::run_fig20(&scale);
     e::fig_large::run_fig21(&scale);
     e::fig_scalability::run_fig22(&scale);
+    e::fig_global::run(&scale);
 }

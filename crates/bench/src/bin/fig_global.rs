@@ -1,0 +1,5 @@
+//! GlobalAlloc/C-shim front end vs the system allocator.
+fn main() {
+    let scale = nvalloc_bench::Scale::from_args();
+    nvalloc_bench::experiments::fig_global::run(&scale);
+}

@@ -1,0 +1,143 @@
+//! `fig_global`: throughput of the `GlobalAlloc`/C-ABI front end
+//! (`nv_malloc`/`nv_free` over the slot directory) against the system
+//! allocator on the same random churn trace. The paper's figures compare
+//! PM allocators through their native slot APIs; this experiment prices
+//! the *compatibility* layer — `Layout` handling, the persistent slot
+//! directory, and its mutex — so CI can hold the shim within a fixed
+//! factor of a DRAM malloc. The system arm allocates through
+//! `Vec::with_capacity` (the safe route to the global allocator), the
+//! shim arm through the C entry points on a latency-model-off pool, so
+//! the ratio isolates front-end bookkeeping rather than modelled PM
+//! stalls.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use nvalloc::api::PmAllocator;
+use nvalloc::global::{self, nv_free, nv_malloc};
+use nvalloc::NvConfig;
+use nvalloc_pmem::{LatencyMode, PmemConfig, PmemPool};
+use nvalloc_workloads::{BenchMeasurement, Reporter};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::experiments::mops_cell;
+use crate::Scale;
+
+const SLOTS: usize = 1024;
+const DEFAULT_OPS: usize = 200_000;
+
+fn size_for(rng: &mut SmallRng) -> usize {
+    if rng.gen_bool(0.05) {
+        rng.gen_range(4096..32 << 10) // occasional large-path object
+    } else {
+        rng.gen_range(16..2048)
+    }
+}
+
+/// One thread's churn through the shim: a slot array where each op frees
+/// the slot if occupied, else mallocs into it.
+fn churn_shim(tid: usize, ops: usize) {
+    let mut rng = SmallRng::seed_from_u64(0x61_0BA1 + tid as u64);
+    let mut slots = vec![0usize; SLOTS];
+    for _ in 0..ops {
+        let i = rng.gen_range(0..SLOTS);
+        if slots[i] != 0 {
+            nv_free(slots[i] as *mut _);
+            slots[i] = 0;
+        } else {
+            let p = nv_malloc(size_for(&mut rng));
+            assert!(!p.is_null(), "shim oom");
+            slots[i] = black_box(p) as usize;
+        }
+    }
+    for s in slots {
+        if s != 0 {
+            nv_free(s as *mut _);
+        }
+    }
+}
+
+/// The same trace through the process allocator, via `Vec::with_capacity`
+/// (exact-capacity request, freed on drop).
+fn churn_system(tid: usize, ops: usize) {
+    let mut rng = SmallRng::seed_from_u64(0x61_0BA1 + tid as u64);
+    let mut slots: Vec<Option<Vec<u8>>> = (0..SLOTS).map(|_| None).collect();
+    for _ in 0..ops {
+        let i = rng.gen_range(0..SLOTS);
+        if slots[i].is_some() {
+            slots[i] = None;
+        } else {
+            let v = Vec::<u8>::with_capacity(size_for(&mut rng));
+            black_box(v.as_ptr());
+            slots[i] = Some(v);
+        }
+    }
+}
+
+fn measure(name: &str, threads: usize, ops: usize, shim: bool) -> BenchMeasurement {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            s.spawn(move || if shim { churn_shim(tid, ops) } else { churn_system(tid, ops) });
+        }
+    });
+    let wall = start.elapsed().as_nanos() as u64;
+    let (stats, mapped) = if shim {
+        global::with_allocator(|a| (a.pool().stats().snapshot(), a.heap_mapped_bytes()))
+            .expect("front end initialized")
+    } else {
+        (Default::default(), 0)
+    };
+    BenchMeasurement {
+        allocator: name.to_string(),
+        threads,
+        ops: (ops * threads) as u64,
+        // No virtual-latency model in either arm: modelled and wall time
+        // coincide, so `mops` and `wall_mops` report the same number.
+        elapsed_ns: wall,
+        wall_ns: wall,
+        stats,
+        peak_mapped: mapped,
+        mapped,
+        metrics: Default::default(),
+    }
+}
+
+/// Run the shim-vs-system churn sweep and print the ratio table.
+pub fn run(scale: &Scale) {
+    let ops = scale.fixed_ops.unwrap_or_else(|| scale.ops(DEFAULT_OPS, 1000));
+    let pool =
+        PmemPool::new(PmemConfig::default().pool_size(768 << 20).latency_mode(LatencyMode::Off));
+    global::init(Arc::clone(&pool), NvConfig::log()).expect("global front-end init");
+
+    println!("\n== fig_global: C-shim front end vs system allocator ({ops} ops/thread) ==");
+    let mut rep = Reporter::new(&["threads", "NVAlloc-shim", "System", "shim/system"]);
+    for &t in scale.threads() {
+        let shim = measure("NVAlloc-shim", t, ops, true);
+        let sys = measure("System", t, ops, false);
+        scale.emit("fig_global_shim", &shim);
+        scale.emit("fig_global_system", &sys);
+        let ratio = shim.wall_mops() / sys.wall_mops().max(1e-9);
+        let cells = [
+            t.to_string(),
+            mops_cell(shim.wall_mops()),
+            mops_cell(sys.wall_mops()),
+            format!("{ratio:.3}"),
+        ];
+        let refs: Vec<&str> = cells.iter().map(|s| s.as_str()).collect();
+        rep.row(&refs);
+    }
+    print!("{}", rep.render());
+
+    // The trace frees everything it allocated; anything left live is the
+    // directory itself.
+    let live = global::with_allocator(|a| {
+        a.quiesce();
+        a.live_bytes()
+    })
+    .expect("front end initialized");
+    assert!(live <= 64 << 10, "shim churn leaked {live} bytes");
+    global::shutdown().expect("shutdown");
+}

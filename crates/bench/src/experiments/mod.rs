@@ -5,6 +5,7 @@ pub mod breakdown;
 pub mod fig_fptree;
 pub mod fig_frag;
 pub mod fig_frag_timeline;
+pub mod fig_global;
 pub mod fig_large;
 pub mod fig_recovery;
 pub mod fig_scalability;

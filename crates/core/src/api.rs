@@ -98,6 +98,29 @@ pub trait AllocThread: Send {
     /// [`nvalloc_pmem::PmError::InvalidRequest`] for zero-size requests.
     fn malloc_to(&mut self, size: usize, dest: PmOffset) -> PmResult<PmOffset>;
 
+    /// Allocate `size` bytes whose offset is aligned to `align` (a power
+    /// of two) and atomically install it at `dest`, like
+    /// [`AllocThread::malloc_to`]. This is the oversize-alignment hook of
+    /// the `GlobalAlloc` front end: implementations that can serve
+    /// naturally aligned extents override it; the default honours only
+    /// the ≤ 8-byte alignment every block already has.
+    ///
+    /// # Errors
+    /// [`nvalloc_pmem::PmError::InvalidRequest`] when the implementation
+    /// cannot honour `align`; otherwise as [`AllocThread::malloc_to`].
+    fn malloc_aligned_to(
+        &mut self,
+        size: usize,
+        align: usize,
+        dest: PmOffset,
+    ) -> PmResult<PmOffset> {
+        if align <= 8 {
+            return self.malloc_to(size, dest);
+        }
+        let _ = size;
+        Err(nvalloc_pmem::PmError::InvalidRequest("allocator cannot serve oversize alignment"))
+    }
+
     /// Free the block whose offset is stored at `dest` and clear `dest`.
     ///
     /// # Errors

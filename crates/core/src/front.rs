@@ -30,7 +30,7 @@ use crate::arena::{arena_state, Arena};
 use crate::bitmap::PmBitmap;
 use crate::config::{NvConfig, Variant};
 use crate::geometry::GeometryTable;
-use crate::large::{LargeConfig, VehId, REGION_BYTES};
+use crate::large::{LargeConfig, VehId, PAGE, REGION_BYTES};
 use crate::morph;
 use crate::observe::{ArenaGauge, ClassGauge, TimelineSample, TimelineSampler};
 use crate::remote::{RemoteFree, SlabGates};
@@ -568,6 +568,27 @@ impl NvAllocator {
             }
         }
         out
+    }
+
+    /// Usable size of the live allocation starting exactly at `addr`: the
+    /// granted capacity — its size class, its morph-old class for a block
+    /// that predates a slab morph, or its (page-rounded) extent size.
+    /// `None` when `addr` is not the base of a live allocation. This is
+    /// what the `GlobalAlloc` front end reports as `nv_usable_size` and
+    /// uses to bound realloc's copy.
+    pub fn usable_size(&self, addr: PmOffset) -> Option<usize> {
+        match Owner::unpack(self.0.rtree.lookup(addr)?) {
+            Owner::Slab { slab, arena } => {
+                let a = self.0.arenas.get(arena as usize)?;
+                let ai = a.inner.lock();
+                if morph::find_old_block(&ai, slab, addr).is_some() {
+                    return ai.slabs.get(&slab)?.morph.as_ref().map(|m| class_size(m.old_class));
+                }
+                let vs = ai.slabs.get(&slab)?;
+                vs.block_index(addr).filter(|&i| vs.is_taken(i)).map(|_| class_size(vs.class))
+            }
+            Owner::Extent { veh } => self.0.large.veh(veh).map(|v| v.size),
+        }
     }
 
     /// Force a decay pass on every large shard's free lists.
@@ -1328,6 +1349,15 @@ impl NvThread {
     }
 
     fn malloc_large(&mut self, size: usize, dest: PmOffset) -> PmResult<PmOffset> {
+        self.malloc_large_aligned(size, PAGE, dest)
+    }
+
+    fn malloc_large_aligned(
+        &mut self,
+        size: usize,
+        align: usize,
+        dest: PmOffset,
+    ) -> PmResult<PmOffset> {
         // A large malloc is a slow path: run the remote-free drain hook
         // before taking any shard lock.
         self.drain_idle_arenas();
@@ -1343,7 +1373,7 @@ impl NvThread {
         let mut oom = PmError::OutOfMemory { requested: size };
         for s in inner.large.shard_order(self.arena.id as usize) {
             let mut large = inner.large.lock_traced(s, &self.pm);
-            let (veh, off) = match large.alloc_deferred(pool, &mut self.pm, size) {
+            let (veh, off) = match large.alloc_deferred_aligned(pool, &mut self.pm, size, align) {
                 Ok(r) => r,
                 Err(e @ PmError::OutOfMemory { .. }) => {
                     oom = e;
@@ -1418,6 +1448,38 @@ impl AllocThread for NvThread {
                 r
             }
         };
+        self.pm.trace(EventKind::MallocEnd.code(), r.as_ref().map_or(0, |a| *a), 0);
+        self.timeline_tick();
+        self.service_tick();
+        r
+    }
+
+    fn malloc_aligned_to(
+        &mut self,
+        size: usize,
+        align: usize,
+        dest: PmOffset,
+    ) -> PmResult<PmOffset> {
+        self.check_dest(dest)?;
+        if size == 0 {
+            return Err(PmError::InvalidRequest("zero-size allocation"));
+        }
+        if !align.is_power_of_two() {
+            return Err(PmError::InvalidRequest("alignment must be a power of two"));
+        }
+        if align <= 8 {
+            // Every block and extent base is at least 8-byte aligned.
+            return self.malloc_to(size, dest);
+        }
+        // Oversize alignment: serve a naturally aligned extent. Aligning
+        // to at least a page keeps one code path — any power of two
+        // below it divides the page.
+        let span = self.pm.span();
+        self.pm.trace(EventKind::MallocBegin.code(), size as u64, 0);
+        let r = self.malloc_large_aligned(size, align.max(PAGE), dest);
+        if r.is_ok() {
+            self.hists.record(OpKind::MallocLarge, span.elapsed_ns(&self.pm));
+        }
         self.pm.trace(EventKind::MallocEnd.code(), r.as_ref().map_or(0, |a| *a), 0);
         self.timeline_tick();
         self.service_tick();

@@ -670,7 +670,30 @@ impl LargeAlloc {
         t: &mut PmThread,
         size: usize,
     ) -> PmResult<(VehId, PmOffset)> {
-        let (id, off) = self.alloc_reserve(pool, t, size, PAGE, false)?;
+        self.alloc_deferred_aligned(pool, t, size, PAGE)
+    }
+
+    /// [`LargeAlloc::alloc_deferred`] with an explicit base alignment
+    /// (power of two ≥ page). This is the oversize-alignment path of the
+    /// `GlobalAlloc` front end: requests whose alignment exceeds what
+    /// size-class padding can honour get a naturally aligned extent.
+    ///
+    /// # Errors
+    /// Same as [`LargeAlloc::alloc`], plus [`PmError::InvalidRequest`]
+    /// when `align` exceeds the page size on a huge (> [`HUGE_MIN`])
+    /// request — huge extents are mapped page-aligned only; callers pad
+    /// instead.
+    pub fn alloc_deferred_aligned(
+        &mut self,
+        pool: &PmemPool,
+        t: &mut PmThread,
+        size: usize,
+        align: usize,
+    ) -> PmResult<(VehId, PmOffset)> {
+        if align > PAGE && size.next_multiple_of(PAGE) > HUGE_MIN {
+            return Err(PmError::InvalidRequest("huge extents are page-aligned only"));
+        }
+        let (id, off) = self.alloc_reserve(pool, t, size, align, false)?;
         Ok((self.tag_id(id), off))
     }
 
@@ -862,6 +885,21 @@ impl LargeAlloc {
         };
         if state != ExtentState::Active {
             return Err(PmError::NotAllocated);
+        }
+        // Shard-identity gate: an extent whose body lies outside this
+        // shard's heap span is corrupt or mis-routed, and unmapping it
+        // here would hand this shard free space another shard owns —
+        // silent cross-shard double-ownership. This used to be implied
+        // (debug builds only, via the carve asserts); it is now a typed,
+        // always-on refusal that the malloc shim escalates to an
+        // abort-with-report.
+        if off < self.cfg.heap_base || off + size as u64 > self.heap_end {
+            return Err(PmError::ShardViolation {
+                shard_base: self.cfg.heap_base,
+                shard_end: self.heap_end,
+                offset: off,
+                len: size,
+            });
         }
         self.unpersist_extent(pool, t, id)?;
         self.rtree.remove_range(off, size);
@@ -1341,6 +1379,42 @@ mod tests {
         // A free carrying the wrong shard tag is rejected; the right one works.
         assert!(la.free(&pool, &mut t, id & VEH_LOCAL_MASK).is_err());
         la.free(&pool, &mut t, id).unwrap();
+    }
+
+    #[test]
+    fn free_refuses_extent_outside_shard_span() {
+        let (pool, mut la, mut t) = setup(true);
+        let (id, _) = la.alloc(&pool, &mut t, 64 << 10, false).unwrap();
+        // Corrupt the VEH so its body sits below the shard's heap span —
+        // exactly what a cross-shard mix-up or trashed table produces.
+        let forged = la.cfg.heap_base - (64 << 10);
+        la.vehs[id as usize].as_mut().unwrap().off = forged;
+        match la.free(&pool, &mut t, id) {
+            Err(PmError::ShardViolation { shard_base, offset, len, .. }) => {
+                assert_eq!(shard_base, la.cfg.heap_base);
+                assert_eq!(offset, forged);
+                assert_eq!(len, 64 << 10);
+            }
+            r => panic!("expected ShardViolation, got {r:?}"),
+        }
+        // The refusal must leave the extent untouched (no unmap happened).
+        assert_eq!(la.veh(id).unwrap().state, ExtentState::Active);
+    }
+
+    #[test]
+    fn aligned_deferred_reserve_honours_alignment() {
+        let (pool, mut la, mut t) = setup(true);
+        // Misalign the carve cursor first.
+        la.alloc(&pool, &mut t, 12 << 10, false).unwrap();
+        let (id, off) = la.alloc_deferred_aligned(&pool, &mut t, 20 << 10, 64 << 10).unwrap();
+        assert_eq!(off % (64 << 10), 0, "base must honour the requested alignment");
+        la.commit_extent(&pool, &mut t, id).unwrap();
+        la.free(&pool, &mut t, id).unwrap();
+        // Huge + oversize alignment is refused (callers pad instead).
+        assert!(matches!(
+            la.alloc_deferred_aligned(&pool, &mut t, (2 << 20) + PAGE, 8192),
+            Err(PmError::InvalidRequest(_))
+        ));
     }
 
     #[test]

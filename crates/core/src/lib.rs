@@ -55,6 +55,7 @@ mod config;
 pub mod doctor;
 mod front;
 mod geometry;
+pub mod global;
 mod interleave;
 mod large;
 mod morph;
@@ -73,6 +74,7 @@ mod wal;
 
 pub use config::{NvConfig, Variant};
 pub use front::{NvAllocator, NvThread, RecoveryReport, SlabUtilization};
+pub use global::GlobalNv;
 pub use size_class::{class_size, size_to_class, ClassId, LARGE_MIN, NUM_CLASSES, SLAB_SIZE};
 
 /// Building blocks shared with the baseline allocators in

@@ -43,6 +43,7 @@ const PERSISTENCE_ALLOWLIST: &[&str] = &[
     "bitmap.rs",
     "booklog.rs",
     "front.rs",
+    "global.rs",
     "large.rs",
     "morph.rs",
     "recovery.rs",

@@ -27,6 +27,20 @@ pub enum PmError {
     NotAllocated,
     /// Persistent state failed a consistency check during recovery.
     Corrupt(&'static str),
+    /// An extent operation was routed to a shard that does not own the
+    /// extent's address range (corrupt VEH or cross-shard handle). Freeing
+    /// such an extent would poison another shard's free space, so the
+    /// operation is refused with full context instead.
+    ShardViolation {
+        /// Heap span start of the shard that was asked to operate.
+        shard_base: u64,
+        /// Heap span end (exclusive) of that shard.
+        shard_end: u64,
+        /// The extent's offset.
+        offset: u64,
+        /// The extent's size in bytes.
+        len: usize,
+    },
 }
 
 impl fmt::Display for PmError {
@@ -42,6 +56,11 @@ impl fmt::Display for PmError {
             PmError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             PmError::NotAllocated => write!(f, "root slot holds no allocation"),
             PmError::Corrupt(msg) => write!(f, "persistent state corrupt: {msg}"),
+            PmError::ShardViolation { shard_base, shard_end, offset, len } => write!(
+                f,
+                "extent [{offset:#x}, +{len}) does not belong to the shard spanning \
+                 [{shard_base:#x}, {shard_end:#x})"
+            ),
         }
     }
 }

@@ -225,6 +225,18 @@ impl PmemPool {
         self.size
     }
 
+    /// Host address of the pool's first byte. Pool offsets are byte
+    /// offsets from this base, so `base_ptr() + off` is the host location
+    /// of offset `off` — the mapping a `GlobalAlloc` front end hands out
+    /// as real pointers. The backing store lives as long as the pool
+    /// (keep the `Arc` alive while any such pointer is in use); writes
+    /// made through derived raw pointers are volatile-only — they bypass
+    /// the latency model, the sanitizer, and crash tracking, exactly like
+    /// CPU stores that were never flushed.
+    pub fn base_ptr(&self) -> *const u8 {
+        self.words.as_ptr().cast::<u8>()
+    }
+
     /// The configuration this pool was built with.
     pub fn config(&self) -> &PmemConfig {
         &self.config

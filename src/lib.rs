@@ -11,6 +11,7 @@
 //! Start with `examples/quickstart.rs`, then see DESIGN.md for the map.
 
 pub use nvalloc;
+pub use nvalloc::global;
 pub use nvalloc_baselines;
 pub use nvalloc_fptree;
 pub use nvalloc_pmem;

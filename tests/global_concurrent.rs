@@ -1,0 +1,211 @@
+//! Concurrency battery for the global front end: an N-thread
+//! malloc/free/realloc stress with cross-thread frees (objects handed to
+//! the next thread over channels, freed there), per-object payload
+//! verification, orderly thread exit (TLS handle teardown flushes
+//! caches), and a schedule-forced double-init race on the INITIALIZING
+//! sentinel via the test-only `init_with_hook` schedule point.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use nvalloc::api::PmAllocator;
+use nvalloc::global::{self, nv_free, nv_malloc, nv_realloc, nv_usable_size};
+use nvalloc::NvConfig;
+use nvalloc_pmem::{LatencyMode, PmError, PmemConfig, PmemPool};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+struct Reset;
+impl Drop for Reset {
+    fn drop(&mut self) {
+        // SAFETY: LOCK serializes tests; all worker threads are joined
+        // and their pointers dropped before this guard runs.
+        unsafe { global::reset_unchecked() }
+    }
+}
+
+fn fresh_pool(bytes: usize) -> Arc<PmemPool> {
+    PmemPool::new(PmemConfig::default().pool_size(bytes).latency_mode(LatencyMode::Off))
+}
+
+/// A live object owned by one thread: address (as usize, to cross
+/// threads), requested size, and the fill tag.
+#[derive(Clone, Copy)]
+struct Obj {
+    addr: usize,
+    size: usize,
+    tag: u8,
+}
+
+fn fill(o: &Obj) {
+    for i in 0..o.size {
+        // SAFETY: addr..addr+size is within the object's granted span.
+        unsafe { (o.addr as *mut u8).add(i).write(o.tag.wrapping_add(i as u8)) }
+    }
+}
+
+fn verify(o: &Obj, who: &str) {
+    for i in 0..o.size {
+        // SAFETY: the object is live until its single owner frees it.
+        let got = unsafe { (o.addr as *const u8).add(i).read() };
+        assert_eq!(got, o.tag.wrapping_add(i as u8), "{who}: byte {i} of {:#x}", o.addr);
+    }
+}
+
+const THREADS: usize = 8;
+const OPS: usize = 400;
+
+#[test]
+fn multithreaded_stress_with_cross_thread_frees() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _reset = Reset;
+    let pool = fresh_pool(192 << 20);
+    global::init(Arc::clone(&pool), NvConfig::log().arenas(4)).unwrap();
+
+    // Ring of channels: thread i ships objects to thread (i+1) % N, which
+    // verifies and frees them — every free of a shipped object is remote.
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..THREADS).map(|_| mpsc::channel::<Obj>()).unzip();
+    let mut txs_rot: Vec<_> = txs.into_iter().map(Some).collect();
+    txs_rot.rotate_left(1);
+
+    let handles: Vec<_> = rxs
+        .into_iter()
+        .zip(txs_rot.iter_mut().map(|t| t.take().unwrap()))
+        .enumerate()
+        .map(|(tid, (rx, tx))| {
+            thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0x5EED + tid as u64);
+                let mut mine: Vec<Obj> = Vec::new();
+                let mut shipped = 0usize;
+                for op in 0..OPS {
+                    // Drain anything shipped to us: verify, then free.
+                    while let Ok(o) = rx.try_recv() {
+                        verify(&o, "remote");
+                        nv_free(o.addr as *mut _);
+                    }
+                    match rng.gen_range(0..10) {
+                        // Allocate (sizes cross the small/large boundary).
+                        0..=3 => {
+                            let size = if rng.gen_bool(0.1) {
+                                rng.gen_range(17 << 10..64 << 10)
+                            } else {
+                                rng.gen_range(1..4096)
+                            };
+                            let p = nv_malloc(size);
+                            assert!(!p.is_null(), "thread {tid} op {op}: oom");
+                            assert!(nv_usable_size(p) >= size);
+                            let o =
+                                Obj { addr: p as usize, size, tag: (tid as u8) ^ (op as u8) | 1 };
+                            fill(&o);
+                            mine.push(o);
+                        }
+                        // Free one of ours.
+                        4..=5 => {
+                            if let Some(o) = mine.pop() {
+                                verify(&o, "local");
+                                nv_free(o.addr as *mut _);
+                            }
+                        }
+                        // Ship one to the neighbour (cross-thread free).
+                        6..=7 => {
+                            if let Some(o) = mine.pop() {
+                                tx.send(o).unwrap();
+                                shipped += 1;
+                            }
+                        }
+                        // Realloc one of ours (prefix must survive).
+                        _ => {
+                            if let Some(mut o) = mine.pop() {
+                                let new_size = rng.gen_range(1..40 << 10);
+                                let q = nv_realloc(o.addr as *mut _, new_size);
+                                assert!(!q.is_null(), "thread {tid} op {op}: realloc oom");
+                                let keep = o.size.min(new_size);
+                                for i in 0..keep {
+                                    // SAFETY: q is live with ≥ new_size bytes.
+                                    let got = unsafe { (q as *const u8).add(i).read() };
+                                    assert_eq!(got, o.tag.wrapping_add(i as u8));
+                                }
+                                o.addr = q as usize;
+                                o.size = new_size;
+                                o.tag = o.tag.wrapping_add(0x11);
+                                fill(&o);
+                                mine.push(o);
+                            }
+                        }
+                    }
+                }
+                drop(tx); // unblocks the neighbour's final drain
+                          // Final drain: neighbour may still be shipping.
+                while let Ok(o) = rx.recv() {
+                    verify(&o, "remote-final");
+                    nv_free(o.addr as *mut _);
+                }
+                for o in mine.drain(..) {
+                    verify(&o, "local-final");
+                    nv_free(o.addr as *mut _);
+                }
+                shipped
+            })
+        })
+        .collect();
+
+    let shipped: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(shipped > 0, "stress never exercised a cross-thread free");
+
+    // Worker exit dropped their TLS handles (tcache flush). The heap must
+    // now hold only the directory, quiesce cleanly, and survive a
+    // shutdown → re-attach round trip with nothing to recover.
+    let live = global::with_allocator(|a| {
+        a.quiesce();
+        a.live_bytes()
+    })
+    .unwrap();
+    assert!(live <= 64 << 10, "{live} bytes live after full teardown");
+    global::shutdown().unwrap();
+    let rep = global::init(Arc::clone(&pool), NvConfig::log().arenas(4)).unwrap();
+    assert!(!rep.created && rep.normal_shutdown, "round trip must be a shallow recovery");
+    assert_eq!(rep.recovered, 0);
+    assert_eq!(rep.reclaimed, 0);
+}
+
+#[test]
+fn double_init_race_on_initializing_sentinel() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _reset = Reset;
+    let pool_a = fresh_pool(24 << 20);
+    let pool_b = fresh_pool(24 << 20);
+
+    let (to_b, in_hook) = mpsc::channel::<()>();
+    let (b_done_tx, b_done) = mpsc::channel::<()>();
+
+    let loser = thread::spawn(move || {
+        in_hook.recv().unwrap(); // scheduled: the sentinel is parked now
+        let err = global::init(pool_b, NvConfig::log()).unwrap_err();
+        // While the sentinel is parked, the shim must refuse, not hang or
+        // serve a half-built heap.
+        assert!(nv_malloc(16).is_null());
+        b_done_tx.send(()).unwrap();
+        err
+    });
+
+    let rep = global::init_with_hook(pool_a, NvConfig::log(), move || {
+        to_b.send(()).unwrap();
+        b_done.recv().unwrap(); // hold the sentinel until B has collided
+    })
+    .unwrap();
+    assert!(rep.created);
+
+    let err = loser.join().unwrap();
+    assert!(
+        matches!(err, PmError::InvalidRequest(m) if m.contains("initial")),
+        "loser must see a typed initializing/initialized error, got {err:?}"
+    );
+    // The winner's heap serves.
+    assert!(global::is_initialized());
+    let p = nv_malloc(128);
+    assert!(!p.is_null());
+    nv_free(p);
+}
