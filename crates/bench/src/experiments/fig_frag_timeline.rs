@@ -106,7 +106,8 @@ pub fn run_frag_timeline(scale: &Scale) {
                     .timeline_capacity(RING)
                     .decay_ms(u64::MAX)
                     .trace(scale.tracing())
-                    .trace_events_per_thread(scale.trace_events()),
+                    .trace_events_per_thread(scale.trace_events())
+                    .profiling(scale.profile_sample()),
             )
             .expect("create"),
         );
@@ -138,6 +139,11 @@ pub fn run_frag_timeline(scale: &Scale) {
             &format!("{:.2}", r.overhead_factor(p.live_cap)),
             &last.map_or("-".into(), |s| format!("{:.3}", s.external_frag)),
         ]);
+        // `finish` would overwrite the multi-series file at the
+        // `--timeline` path, so only the profiled-shutdown tail runs
+        // here. The W3 heap still holds its live cap, so the profile's
+        // retained set names the fragbench site.
+        scale.finish_profile(&*dyn_a);
     }
 
     // Baselines: external poll only (they have no sampler to ask).

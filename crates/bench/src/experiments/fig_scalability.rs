@@ -130,7 +130,8 @@ pub fn run_fig22(scale: &Scale) {
                 .slab_reservoir(RESERVOIR)
                 .trace(scale.tracing())
                 .trace_events_per_thread(scale.trace_events())
-                .timeline(scale.timeline_ns()),
+                .timeline(scale.timeline_ns())
+                .profiling(scale.profile_sample()),
             1 << 18,
         );
         run_series(scale, &mut rep, "fig22_scalability", None, t, ops, &sharded);
@@ -146,7 +147,8 @@ pub fn run_fig22(scale: &Scale) {
                     .service(true)
                     .trace(scale.tracing())
                     .trace_events_per_thread(scale.trace_events())
-                    .timeline(scale.timeline_ns()),
+                    .timeline(scale.timeline_ns())
+                    .profiling(scale.profile_sample()),
                 1 << 18,
             );
             run_series(

@@ -27,6 +27,7 @@ fn run_bench(
         scale.tracing(),
         scale.trace_events(),
         scale.timeline_ns(),
+        scale.profile_sample(),
     );
     let m = match bench {
         "Threadtest" => {

@@ -47,6 +47,16 @@ pub struct Scale {
     /// Timeline tick interval in virtual nanoseconds
     /// (`--timeline-interval`, default 50 µs of virtual time).
     pub timeline_interval: u64,
+    /// Destination for the sampled heap profile (`--profile`). Turns
+    /// `NvConfig::profiling` on for the NVAlloc series; the site-table
+    /// JSON lands at the given path and the collapsed-stack text at the
+    /// same path with `.collapsed` appended. Like `--trace`, each
+    /// finished allocator overwrites the files, so the last one of the
+    /// run wins.
+    pub profile: Option<PathBuf>,
+    /// Sampling period in bytes (`--profile-sample`, default 512 KiB);
+    /// only consulted when `--profile` was given.
+    pub profile_sample: u64,
     /// Run with the persist-ordering sanitizer (`--pmsan`): pools are
     /// built with shadow persist-state, and [`Scale::finish`] prints the
     /// violation report and **panics on any violation** — the CI
@@ -129,10 +139,22 @@ impl Scale {
                     s.timeline_interval =
                         args[i].parse().expect("--timeline-interval takes virtual nanoseconds");
                 }
+                "--profile" => {
+                    i += 1;
+                    let path = PathBuf::from(args.get(i).expect("--profile takes an output path"));
+                    std::fs::File::create(&path)
+                        .unwrap_or_else(|e| panic!("--profile {}: {e}", path.display()));
+                    s.profile = Some(path);
+                }
+                "--profile-sample" => {
+                    i += 1;
+                    s.profile_sample =
+                        args[i].parse().expect("--profile-sample takes a byte period");
+                }
                 "--pmsan" => s.pmsan = true,
                 "--service" => s.service = true,
                 other => panic!(
-                    "unknown flag {other} (try --quick/--full/--threads 1,2,4/--ops 10000/--json out.jsonl/--trace t.json/--trace-events 1000000/--timeline tl.jsonl/--timeline-interval 50000/--save-pool p.heap/--pmsan/--service)"
+                    "unknown flag {other} (try --quick/--full/--threads 1,2,4/--ops 10000/--json out.jsonl/--trace t.json/--trace-events 1000000/--timeline tl.jsonl/--timeline-interval 50000/--profile prof.json/--profile-sample 524288/--save-pool p.heap/--pmsan/--service)"
                 ),
             }
             i += 1;
@@ -172,6 +194,17 @@ impl Scale {
         }
     }
 
+    /// The `NvConfig::profiling` sampling period experiments should build
+    /// their NVAlloc allocators with: the configured byte period when
+    /// `--profile` was given, else 0 (profiler off).
+    pub fn profile_sample(&self) -> u64 {
+        if self.profile.is_some() {
+            self.profile_sample
+        } else {
+            0
+        }
+    }
+
     /// Post-run hooks for one finished allocator: export its flight
     /// recorder as Chrome trace JSON (`--trace`) and/or save its pool as
     /// a heap image (`--save-pool`). Later calls overwrite earlier ones,
@@ -198,11 +231,18 @@ impl Scale {
         // *subject* of the motivation figures), so this is a no-op for
         // them.
         let sanitized = self.pmsan && alloc.pool().pmsan_enabled();
-        if sanitized {
+        // Profiled allocators are quiesced first so the retained-set rows
+        // (leak report) are marked before the dump; the dump itself is
+        // taken after `exit()` so it reflects the final heap.
+        let profiled = self.profile.is_some() && alloc.profile_json().is_some();
+        if sanitized || profiled {
             alloc.quiesce();
         }
-        if sanitized || self.save_pool.is_some() {
+        if sanitized || profiled || self.save_pool.is_some() {
             alloc.exit();
+        }
+        if profiled {
+            self.write_profile(alloc);
         }
         if let Some(path) = &self.save_pool {
             alloc
@@ -218,6 +258,33 @@ impl Scale {
                 0,
                 "persist-ordering violations detected (see report above)"
             );
+        }
+    }
+
+    /// The profiled-shutdown tail of [`Scale::finish`] alone — quiesce
+    /// (marks the retained-set rows), exit, and write the `--profile`
+    /// dumps. For experiments that export their trace/timeline
+    /// themselves (the frag timeline's multi-series file lands at the
+    /// `--timeline` path, which `finish` would overwrite).
+    pub fn finish_profile(&self, alloc: &dyn PmAllocator) {
+        if self.profile.is_none() || alloc.profile_json().is_none() {
+            return;
+        }
+        alloc.quiesce();
+        alloc.exit();
+        self.write_profile(alloc);
+    }
+
+    /// Write the `--profile` JSON dump and its `.collapsed` companion.
+    fn write_profile(&self, alloc: &dyn PmAllocator) {
+        let path = self.profile.as_ref().expect("profiled implies --profile");
+        let json = alloc.profile_json().expect("profiled implies a profiler");
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("--profile {}: {e}", path.display()));
+        if let Some(folded) = alloc.profile_collapsed() {
+            let mut fp = path.as_os_str().to_owned();
+            fp.push(".collapsed");
+            std::fs::write(&fp, folded)
+                .unwrap_or_else(|e| panic!("--profile {}: {e}", path.display()));
         }
     }
 
@@ -247,6 +314,8 @@ impl Default for Scale {
             trace_events: 4096,
             timeline: None,
             timeline_interval: 50_000,
+            profile: None,
+            profile_sample: 512 << 10,
             pmsan: false,
             service: false,
         }
@@ -271,6 +340,20 @@ mod tests {
         assert_eq!(s.timeline_ns(), 0, "no --timeline → sampler off");
         let s = Scale { timeline: Some(PathBuf::from("tl.jsonl")), ..Scale::default() };
         assert_eq!(s.timeline_ns(), 50_000, "default interval once --timeline is given");
+    }
+
+    #[test]
+    fn profile_sample_gated_on_flag() {
+        let s = Scale::default();
+        assert_eq!(s.profile_sample(), 0, "no --profile → profiler off");
+        let s = Scale { profile: Some(PathBuf::from("prof.json")), ..Scale::default() };
+        assert_eq!(s.profile_sample(), 512 << 10, "default period once --profile is given");
+        let s = Scale {
+            profile: Some(PathBuf::from("prof.json")),
+            profile_sample: 4096,
+            ..Scale::default()
+        };
+        assert_eq!(s.profile_sample(), 4096);
     }
 
     #[test]

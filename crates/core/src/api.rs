@@ -75,6 +75,21 @@ pub trait PmAllocator: Send + Sync + Debug {
         None
     }
 
+    /// The sampled heap profile serialized as one JSON object (site
+    /// table, retained-set rows, snapshot ring — see [`crate::prof`]),
+    /// or `None` when profiling is disabled or unsupported. Baselines
+    /// have no profiler and inherit this default.
+    fn profile_json(&self) -> Option<String> {
+        None
+    }
+
+    /// The sampled heap profile as collapsed-stack text (one
+    /// `label live_bytes_estimate` line per site, flamegraph-ready), or
+    /// `None` when profiling is disabled or unsupported.
+    fn profile_collapsed(&self) -> Option<String> {
+        None
+    }
+
     /// Drain deferred work without shutting down: return every arena's
     /// pending remote (cross-arena) frees to their slabs and fence any
     /// resulting flushes, leaving an idle heap with no stranded queues.

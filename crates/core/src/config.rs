@@ -156,6 +156,16 @@ pub struct NvConfig {
     /// virtual-clock pools, and in wall-clock nanoseconds for the
     /// dedicated thread on sleep pools (default 50 µs).
     pub service_tick_ns: u64,
+    /// Heap-profiler sampling period in bytes ([`crate::prof`]); `0`
+    /// (the default) disables profiling. When non-zero, roughly one
+    /// allocation per `profile_sample_bytes` allocated bytes is sampled:
+    /// its call site is captured into the volatile site table and an
+    /// attribution record is appended to the per-arena provenance
+    /// sidelog. The value is persisted in the pool header at create and
+    /// folded back at recover, so pool layout stays consistent across
+    /// attaches. Sampling uses a deterministic byte countdown (no RNG),
+    /// keeping same-seed virtual-clock runs byte-identical.
+    pub profile_sample_bytes: u64,
 }
 
 impl NvConfig {
@@ -190,6 +200,7 @@ impl NvConfig {
             decay_ms: 10_000,
             service: false,
             service_tick_ns: 50_000,
+            profile_sample_bytes: 0,
         }
     }
 
@@ -337,6 +348,13 @@ impl NvConfig {
         self
     }
 
+    /// Set the heap-profiler sampling period in bytes
+    /// ([`NvConfig::profile_sample_bytes`]; 0 disables profiling).
+    pub fn profiling(mut self, sample_bytes: u64) -> Self {
+        self.profile_sample_bytes = sample_bytes;
+        self
+    }
+
     /// Set the flight-recorder ring capacity per thread, in events.
     pub fn trace_events_per_thread(mut self, n: usize) -> Self {
         self.trace_events_per_thread = n.max(1);
@@ -439,6 +457,14 @@ mod tests {
         assert!(on.service);
         assert_eq!(on.service_tick_ns, 10_000);
         assert_eq!(NvConfig::log().service_tick_ns(0).service_tick_ns, 1);
+    }
+
+    #[test]
+    fn profiling_defaults_off() {
+        let c = NvConfig::log();
+        assert_eq!(c.profile_sample_bytes, 0, "profiling must default off");
+        let on = NvConfig::log().profiling(512 << 10);
+        assert_eq!(on.profile_sample_bytes, 512 << 10);
     }
 
     #[test]

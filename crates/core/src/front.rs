@@ -59,6 +59,10 @@ pub(crate) struct Layout {
     pub region_table_bytes: usize,
     pub booklog: PmOffset,
     pub booklog_bytes: usize,
+    /// Provenance-sidelog region ([`crate::prof`]); `prof_bytes == 0`
+    /// when profiling is off and the region collapses to nothing.
+    pub prof_base: PmOffset,
+    pub prof_bytes: usize,
     pub heap_base: PmOffset,
     pub heap_bytes: usize,
     /// Effective large-allocation shard count (power of two; clamped so
@@ -92,7 +96,13 @@ impl Layout {
             let region_table_bytes = shards * (8 + 8 * (pool_size / REGION_BYTES / shards + 2));
             let region_table = crate::align_up64(wal_end, 64);
             let booklog = crate::align_up64(region_table + region_table_bytes as u64, 64);
-            let heap_base = crate::align_up64(booklog + booklog_bytes as u64, SLAB_SIZE as u64);
+            let prof_base = crate::align_up64(booklog + booklog_bytes as u64, 64);
+            let prof_bytes = if cfg.profile_sample_bytes > 0 {
+                cfg.arenas * crate::prof::PROF_LOG_BYTES
+            } else {
+                0
+            };
+            let heap_base = crate::align_up64(prof_base + prof_bytes as u64, SLAB_SIZE as u64);
             let fits = heap_base as usize + REGION_BYTES <= pool_size;
             if shards > 1
                 && (!fits
@@ -115,6 +125,8 @@ impl Layout {
                 region_table_bytes,
                 booklog,
                 booklog_bytes,
+                prof_base,
+                prof_bytes,
                 heap_base,
                 heap_bytes: pool_size - heap_base as usize,
                 large_shards: shards,
@@ -171,6 +183,11 @@ pub struct RecoveryReport {
     pub morphs_resolved: usize,
     /// Live blocks found by conservative GC (GC variant).
     pub gc_live_blocks: usize,
+    /// Provenance-sidelog records scanned during profiler replay.
+    pub prof_records: usize,
+    /// Replayed profiler records pruned because their object is dead
+    /// on-heap (crash landed between an append and its commit point).
+    pub prof_stale: usize,
 }
 
 pub(crate) struct NvInner {
@@ -199,6 +216,8 @@ pub(crate) struct NvInner {
     /// when the service is off — workers then run every slow path
     /// inline, exactly as before.
     pub service: Option<ServiceState>,
+    /// Sampled heap profiler (`NvConfig::profiling`); `None` when off.
+    pub prof: Option<Arc<crate::prof::Prof>>,
 }
 
 impl NvInner {
@@ -388,7 +407,12 @@ impl NvAllocator {
     /// [`PmError::OutOfMemory`] if the pool is too small for the
     /// configured metadata regions plus one heap region.
     pub fn create(pool: Arc<PmemPool>, cfg: NvConfig) -> PmResult<NvAllocator> {
-        let cfg = Self::effective(cfg, &pool);
+        // `effective` folds the persisted sampling period from the pool
+        // header, but a *fresh* format must use the requested one, not
+        // whatever a stale image left at word 24.
+        let want_prof = cfg.profile_sample_bytes;
+        let mut cfg = Self::effective(cfg, &pool);
+        cfg.profile_sample_bytes = want_prof;
         let layout = Layout::compute(&cfg, pool.size())?;
         let mut t = pool.register_thread();
 
@@ -424,6 +448,7 @@ impl NvAllocator {
         // Pool header last (commit point of the format).
         pool.write_u64(8, cfg.arenas as u64);
         pool.write_u64(16, cfg.roots as u64);
+        pool.write_u64(24, cfg.profile_sample_bytes);
         pool.persist_u64(&mut t, 0, POOL_MAGIC, FlushKind::Meta);
 
         let metrics = CoreMetrics::new(cfg.telemetry);
@@ -433,6 +458,12 @@ impl NvAllocator {
             Arc::new(TimelineSampler::new(cfg.timeline_interval_ns, cfg.timeline_capacity))
         });
         let service = cfg.service.then(|| ServiceState::new(cfg.service_tick_ns));
+        // The sidelog region sits wholly below the heap (zeroed by the
+        // format pass above alongside every other metadata region).
+        debug_assert!(layout.prof_base + layout.prof_bytes as u64 <= layout.heap_base);
+        let prof = (cfg.profile_sample_bytes > 0).then(|| {
+            Arc::new(crate::prof::Prof::new(cfg.profile_sample_bytes, layout.prof_base, cfg.arenas))
+        });
         let alloc = NvAllocator(Arc::new(NvInner {
             pool,
             cfg,
@@ -448,6 +479,7 @@ impl NvAllocator {
             slab_gates,
             observe,
             service,
+            prof,
         }));
         alloc.maybe_spawn_service();
         Ok(alloc)
@@ -499,6 +531,13 @@ impl NvAllocator {
         // declares intent. Reflect the pool's reality so `config()` and
         // the config log never disagree with what is actually running.
         cfg.pmsan = pool.pmsan_enabled();
+        // The sampling period is part of the pool layout (it sizes the
+        // provenance-sidelog region), so on a formatted pool the header's
+        // word is authoritative — recover and the offline doctor must see
+        // the geometry the pool was created with.
+        if pool.read_u64(0) == POOL_MAGIC {
+            cfg.profile_sample_bytes = pool.read_u64(24);
+        }
         cfg
     }
 
@@ -607,6 +646,11 @@ impl NvAllocator {
         self.0.observe.as_ref()
     }
 
+    /// The sampled heap profiler, when `NvConfig::profiling` is on.
+    pub fn profiler(&self) -> Option<&Arc<crate::prof::Prof>> {
+        self.0.prof.as_ref()
+    }
+
     /// Resident timeline samples, oldest first (empty when the sampler
     /// is off or no tick has fired yet).
     pub fn timeline_samples(&self) -> Vec<TimelineSample> {
@@ -656,6 +700,7 @@ impl PmAllocator for NvAllocator {
             arena,
             wal,
             hists: OpHistograms::default(),
+            prof_acc: 0,
         })
     }
 
@@ -729,6 +774,16 @@ impl PmAllocator for NvAllocator {
             s.pmsan_shutdown_dirty = c[3];
             s.pmsan_violations = c.iter().sum();
         }
+        // Profiler counters live in `Prof`'s own atomics (it is config-
+        // gated and lock-disciplined separately from CoreMetrics).
+        if let Some(p) = &self.0.prof {
+            let [samples, appends, frees, compactions, dropped] = p.counters();
+            s.prof_samples = samples;
+            s.prof_appends = appends;
+            s.prof_frees = frees;
+            s.prof_compactions = compactions;
+            s.prof_dropped = dropped;
+        }
         s
     }
 
@@ -743,6 +798,14 @@ impl PmAllocator for NvAllocator {
 
     fn timeline_json(&self) -> Option<String> {
         self.0.observe.as_ref().map(|o| o.json_lines())
+    }
+
+    fn profile_json(&self) -> Option<String> {
+        self.0.prof.as_ref().map(|p| p.json())
+    }
+
+    fn profile_collapsed(&self) -> Option<String> {
+        self.0.prof.as_ref().map(|p| p.collapsed())
     }
 
     fn quiesce(&self) {
@@ -766,6 +829,11 @@ impl PmAllocator for NvAllocator {
         // can retire the frame (persistent header scrub); order any such
         // flushes now. No-op if nothing was flushed.
         pool.fence_pending(&mut t);
+        // The heap is idle: capture the retained-set leak report — every
+        // profiled site still holding live bytes.
+        if let Some(p) = &self.0.prof {
+            p.mark_retained();
+        }
     }
 
     fn exit(&self) {
@@ -863,6 +931,9 @@ pub struct NvThread {
     /// Thread-local op-latency histograms; merged into the shared
     /// registry when the thread drops.
     hists: OpHistograms,
+    /// Heap-profiler byte countdown ([`crate::prof`]): granted bytes
+    /// accumulated since the last sample crossing.
+    prof_acc: u64,
 }
 
 impl NvThread {
@@ -937,6 +1008,30 @@ impl NvThread {
         crate::service::service_step(&self.inner, &mut self.pm);
     }
 
+    /// Profiler allocation hook: advance the byte countdown and, on a
+    /// sample crossing, record the site + append the provenance record.
+    /// Must run *before* the allocation's persistent commit (dest
+    /// install) — see [`crate::prof`] for the crash argument. One
+    /// `Option` check when profiling is off.
+    #[inline]
+    fn prof_alloc_hook(&mut self, addr: PmOffset, granted: usize) {
+        let Some(p) = self.inner.prof.clone() else { return };
+        let crossings = p.crossings(&mut self.prof_acc, granted);
+        if crossings == 0 {
+            return;
+        }
+        p.record_alloc(&self.inner.pool, &mut self.pm, self.arena.id, addr, granted, crossings);
+    }
+
+    /// Profiler free hook: append the FREE provenance record if `addr`
+    /// was sampled. Must run *after* the free's persistent commit and
+    /// *before* the block can be reused (tcache/remote push).
+    #[inline]
+    fn prof_free_hook(&mut self, addr: PmOffset) {
+        let Some(p) = self.inner.prof.clone() else { return };
+        p.record_free(&self.inner.pool, &mut self.pm, addr);
+    }
+
     /// Append one entry to this thread's micro-WAL with a fresh sequence
     /// number, and count it.
     fn wal_append(&mut self, op: WalOp, addr: PmOffset, dest: PmOffset, size: u32) {
@@ -1009,6 +1104,8 @@ impl NvThread {
         } else {
             bm.write_volatile(&pool, idx, true);
         }
+        // Provenance before commit: a survivor must have its record.
+        self.prof_alloc_hook(addr, class_size(class));
         // Install the user pointer (the commit record).
         self.write_dest(dest, addr, strong);
         self.inner.live_bytes.fetch_add(class_size(class), Ordering::Relaxed);
@@ -1236,6 +1333,8 @@ impl NvThread {
         }
         self.write_dest(dest, 0, strong);
         inner.live_bytes.fetch_sub(class_size(class), Ordering::Relaxed);
+        // Provenance after the commit, before the block can be reused.
+        self.prof_free_hook(addr);
         if local {
             let stripe = g.bitmap.stripe_of(idx);
             let pushed = self.tcache.push(class, addr, stripe);
@@ -1280,6 +1379,9 @@ impl NvThread {
             morph::release_old_block(pool, &mut self.pm, &mut ai, slab_off, addr)?;
             self.write_dest(dest, 0, strong);
             inner.live_bytes.fetch_sub(class_size(old_class), Ordering::Relaxed);
+            // Provenance after the commit (prof is a leaf lock; holding
+            // the arena lock here is fine), before the slab can retire.
+            self.prof_free_hook(addr);
             self.maybe_destroy_slab(arena, &mut ai, slab_off)?;
             return Ok(());
         }
@@ -1302,6 +1404,8 @@ impl NvThread {
         }
         self.write_dest(dest, 0, strong);
         inner.live_bytes.fetch_sub(class_size(class), Ordering::Relaxed);
+        // Provenance after the commit, before the block can be reused.
+        self.prof_free_hook(addr);
 
         // The freed block goes to *this* thread's tcache; when the tcache
         // is full it returns to its slab directly, bypassing the cache
@@ -1387,6 +1491,10 @@ impl NvThread {
             large.commit_extent(pool, &mut self.pm, veh)?;
             let actual = large.veh(veh).map(|v| v.size).unwrap_or(size);
             drop(large);
+            // Provenance before the commit: the extent record is already
+            // persisted, so the address cannot be re-granted elsewhere,
+            // and a survivor must have its record before the install.
+            self.prof_alloc_hook(off, actual);
             self.write_dest(dest, off, true);
             inner.live_bytes.fetch_add(actual, Ordering::Relaxed);
             return Ok(off);
@@ -1417,6 +1525,11 @@ impl NvThread {
             self.wal_append(WalOp::Free, addr, dest, 0);
         }
         self.write_dest(dest, 0, true);
+        // Provenance after the commit, before `free` returns the extent
+        // to the shard's free lists (prof is a leaf lock; the shard
+        // guard is still held, so the address cannot be re-granted
+        // before the FREE record is fenced).
+        self.prof_free_hook(addr);
         large.free(pool, &mut self.pm, veh)?;
         drop(large);
         inner.live_bytes.fetch_sub(size, Ordering::Relaxed);
@@ -1651,6 +1764,19 @@ mod tests {
         assert!(l.booklog + l.booklog_bytes as u64 <= l.heap_base);
         assert_eq!(l.heap_base % crate::size_class::SLAB_SIZE as u64, 0);
         assert!(l.large_shards.is_power_of_two());
+        // Profiling off: the sidelog region collapses to nothing and the
+        // heap starts exactly where it would without the region.
+        assert_eq!(l.prof_bytes, 0);
+        assert!(l.booklog + l.booklog_bytes as u64 <= l.prof_base);
+        assert!(l.prof_base + l.prof_bytes as u64 <= l.heap_base);
+        // Profiling on: one 64 KiB sidelog per arena, between the booklog
+        // and the (still slab-aligned) heap.
+        let lp = Layout::compute(&cfg.clone().profiling(512 << 10), 128 << 20).unwrap();
+        assert_eq!(lp.prof_bytes, 3 * crate::prof::PROF_LOG_BYTES);
+        assert!(lp.booklog + lp.booklog_bytes as u64 <= lp.prof_base);
+        assert!(lp.prof_base + lp.prof_bytes as u64 <= lp.heap_base);
+        assert_eq!(lp.prof_base % 64, 0);
+        assert_eq!(lp.heap_base % crate::size_class::SLAB_SIZE as u64, 0);
     }
 
     #[test]

@@ -744,7 +744,11 @@ unsafe impl GlobalAlloc for GlobalNv {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let served = with_guard(|| {
             let st = state()?;
-            match try_alloc(st, layout.size(), layout.align()) {
+            // Fixed-depth profiler site: skip the backtrace capture on
+            // the sampled path and attribute to the shim entry point.
+            match crate::prof::with_site("GlobalNv::alloc", || {
+                try_alloc(st, layout.size(), layout.align())
+            }) {
                 Ok((user, _)) => Some((st.base + user as usize) as *mut u8),
                 Err(PmError::OutOfMemory { .. }) => Some(null_mut()),
                 Err(e) => die("alloc failed", &e),
@@ -786,7 +790,9 @@ unsafe impl GlobalAlloc for GlobalNv {
         if let Some(st) = state() {
             if in_pool(st, addr) {
                 let r = with_guard(|| {
-                    match do_realloc(st, (addr - st.base) as u64, new_size, layout.align()) {
+                    match crate::prof::with_site("GlobalNv::realloc", || {
+                        do_realloc(st, (addr - st.base) as u64, new_size, layout.align())
+                    }) {
                         Ok(user) => (st.base + user as usize) as *mut u8,
                         Err(_) => null_mut(),
                     }
@@ -824,7 +830,7 @@ unsafe impl GlobalAlloc for GlobalNv {
 pub extern "C" fn nv_malloc(size: usize) -> *mut core::ffi::c_void {
     let r = with_guard(|| {
         let st = state()?;
-        match try_alloc(st, size, 8) {
+        match crate::prof::with_site("nv_malloc", || try_alloc(st, size, 8)) {
             Ok((user, _)) => Some((st.base + user as usize) as *mut core::ffi::c_void),
             Err(PmError::OutOfMemory { .. }) => None,
             Err(e) => die("nv_malloc failed", &e),
@@ -847,7 +853,7 @@ pub extern "C" fn nv_calloc(n: usize, size: usize) -> *mut core::ffi::c_void {
     };
     let r = with_guard(|| {
         let st = state()?;
-        match try_alloc(st, total, 8) {
+        match crate::prof::with_site("nv_calloc", || try_alloc(st, total, 8)) {
             Ok((user, _)) => {
                 st.pool.fill_bytes(user, total.max(1), 0);
                 with_thread(st, |t| {
@@ -917,9 +923,13 @@ pub extern "C" fn nv_realloc(
     // Current heap first — see nv_free for the same-pool re-init hazard.
     if let Some(st) = state() {
         if in_pool(st, addr) {
-            let r = with_guard(|| match do_realloc(st, (addr - st.base) as u64, new_size, 8) {
-                Ok(user) => (st.base + user as usize) as *mut core::ffi::c_void,
-                Err(_) => null_mut(),
+            let r = with_guard(|| {
+                match crate::prof::with_site("nv_realloc", || {
+                    do_realloc(st, (addr - st.base) as u64, new_size, 8)
+                }) {
+                    Ok(user) => (st.base + user as usize) as *mut core::ffi::c_void,
+                    Err(_) => null_mut(),
+                }
             });
             return r.unwrap_or(null_mut());
         }

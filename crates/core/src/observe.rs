@@ -235,7 +235,8 @@ impl TimelineSample {
             out.push_str(key);
             push_u64(out, v);
         };
-        field(out, "{\"sample\":", self.seq);
+        field(out, "{\"schema_version\":", crate::telemetry::SCHEMA_VERSION);
+        field(out, ",\"sample\":", self.seq);
         field(out, ",\"ns\":", self.ns);
         field(out, ",\"heap_used_bytes\":", self.heap_used_bytes);
         field(out, ",\"covered_bytes\":", self.covered_bytes);
@@ -588,7 +589,7 @@ mod tests {
         };
         let j = s.to_json();
         assert!(!j.contains('\n'));
-        assert!(j.starts_with("{\"sample\":3,\"ns\":4000,"));
+        assert!(j.starts_with("{\"schema_version\":2,\"sample\":3,\"ns\":4000,"));
         assert!(j.contains("\"external_frag\":0.25"));
         assert!(j.contains("\"occupancy_hist\":[0,0,0,0,0,0,0,0,0,0]"));
         assert!(j.contains("\"latency\":{\"malloc_small\":{\"count\":0"));

@@ -203,6 +203,9 @@ pub(crate) fn recover(
         ))
     });
     let service = cfg.service.then(|| crate::service::ServiceState::new(cfg.service_tick_ns));
+    let prof = (cfg.profile_sample_bytes > 0).then(|| {
+        Arc::new(crate::prof::Prof::new(cfg.profile_sample_bytes, layout.prof_base, cfg.arenas))
+    });
     let alloc = NvAllocator(Arc::new(NvInner {
         pool,
         cfg,
@@ -218,7 +221,20 @@ pub(crate) fn recover(
         slab_gates,
         observe,
         service,
+        prof,
     }));
+    // Provenance-sidelog replay runs after the heap is authoritative:
+    // replayed records whose object did not survive (the crash landed
+    // between an append and its commit point, or a repair freed the
+    // object) are pruned against the live-object view, then each arena
+    // log is re-compacted so the persistent sidelog again holds exactly
+    // the surviving attributions.
+    if let Some(p) = &alloc.0.prof {
+        let mut pt = alloc.0.pool.register_thread();
+        let stats = p.rebuild(&alloc.0.pool, &mut pt, |a| alloc.usable_size(a));
+        report.prof_records = stats.records;
+        report.prof_stale = stats.stale;
+    }
     alloc.maybe_spawn_service();
     Ok((alloc, report))
 }

@@ -322,6 +322,12 @@ pub(crate) fn service_step(inner: &NvInner, t: &mut PmThread) -> u64 {
     if inner.large.rebalance() {
         inner.metrics.bump(Counter::ServiceRebalances);
     }
+    // Periodic profile dump: fold the site table into the profiler's
+    // snapshot ring (volatile, deterministic — driven by the same epoch
+    // claim that paced this step).
+    if let Some(p) = &inner.prof {
+        p.service_snapshot();
+    }
     // Persistent work above (frame scrubs, extent releases, GC copies)
     // must not leave the epoch with dangling flushes.
     inner.pool.fence_pending(t);

@@ -534,6 +534,15 @@ impl TcacheClassCounters {
     }
 }
 
+/// Version of the exported JSON surfaces ([`MetricsSnapshot::to_json`],
+/// timeline JSON-lines, profile dumps). External scrapers key on this to
+/// detect format changes; bump it whenever a field is renamed, removed,
+/// or changes meaning (pure additions may keep the version).
+///
+/// History: 1 = PR 6 (metrics + timeline), 2 = PR 9 (explicit
+/// `schema_version` field everywhere + profiler fields/dumps).
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// A point-in-time copy of the allocator's internal metrics, cheap to
 /// diff between benchmark phases with [`MetricsSnapshot::since`].
 ///
@@ -656,6 +665,17 @@ pub struct MetricsSnapshot {
     pub pmsan_shutdown_dirty: u64,
     /// pmsan: total persist-ordering violations (sum of the four above).
     pub pmsan_violations: u64,
+    /// Profiler: sampled allocation events ([`crate::prof`]).
+    pub prof_samples: u64,
+    /// Profiler: provenance-sidelog records appended (ALLOC + FREE).
+    pub prof_appends: u64,
+    /// Profiler: sampled free events (FREE records for sampled objects).
+    pub prof_frees: u64,
+    /// Profiler: sidelog half compactions.
+    pub prof_compactions: u64,
+    /// Profiler: records dropped because both sidelog halves were full of
+    /// live records (coverage loss, not corruption).
+    pub prof_dropped: u64,
     /// Op-latency histograms over the virtual PM clock.
     pub hists: OpHistograms,
 }
@@ -758,6 +778,11 @@ impl MetricsSnapshot {
                 .pmsan_shutdown_dirty
                 .saturating_sub(earlier.pmsan_shutdown_dirty),
             pmsan_violations: self.pmsan_violations.saturating_sub(earlier.pmsan_violations),
+            prof_samples: self.prof_samples.saturating_sub(earlier.prof_samples),
+            prof_appends: self.prof_appends.saturating_sub(earlier.prof_appends),
+            prof_frees: self.prof_frees.saturating_sub(earlier.prof_frees),
+            prof_compactions: self.prof_compactions.saturating_sub(earlier.prof_compactions),
+            prof_dropped: self.prof_dropped.saturating_sub(earlier.prof_dropped),
             hists: self.hists.since(&earlier.hists),
         }
     }
@@ -777,6 +802,7 @@ impl MetricsSnapshot {
     /// histograms are emitted as 64-element bucket arrays per op kind.
     pub fn to_json(&self) -> String {
         let mut o = json::JsonObj::new();
+        o.field_u64("schema_version", SCHEMA_VERSION);
         o.field_u64("tcache_hits", self.tcache_hits);
         o.field_u64("tcache_misses", self.tcache_misses);
         o.field_u64("tcache_refills", self.tcache_refills);
@@ -837,6 +863,11 @@ impl MetricsSnapshot {
         o.field_u64("pmsan_redundant_flush", self.pmsan_redundant_flush);
         o.field_u64("pmsan_shutdown_dirty", self.pmsan_shutdown_dirty);
         o.field_u64("pmsan_violations", self.pmsan_violations);
+        o.field_u64("prof_samples", self.prof_samples);
+        o.field_u64("prof_appends", self.prof_appends);
+        o.field_u64("prof_frees", self.prof_frees);
+        o.field_u64("prof_compactions", self.prof_compactions);
+        o.field_u64("prof_dropped", self.prof_dropped);
         o.field_u64("extent_best_fit", self.extent_best_fit);
         o.field_u64("extent_splits", self.extent_splits);
         o.field_u64("extent_coalesces", self.extent_coalesces);

@@ -46,6 +46,7 @@ const PERSISTENCE_ALLOWLIST: &[&str] = &[
     "global.rs",
     "large.rs",
     "morph.rs",
+    "prof.rs",
     "recovery.rs",
     "service.rs",
     "slab.rs",

@@ -48,37 +48,41 @@ fn poisson_size(rng: &mut SmallRng) -> usize {
 pub fn run(alloc: &Arc<dyn PmAllocator>, p: Params) -> BenchMeasurement {
     let per_thread = alloc.root_count() / crate::harness::ROOT_SPREAD / p.threads.max(1);
     run_threads(alloc, p.threads, |k, t| {
-        let base = k * per_thread;
-        let mut rng = SmallRng::seed_from_u64(p.seed ^ (k as u64) << 32);
-        let mut live: Vec<usize> = Vec::new();
-        // Free-slot stack: a slot is reused only after its object is freed.
-        let mut free_slots: Vec<usize> = (0..per_thread).rev().map(|i| base + i).collect();
-        let mut ops = 0u64;
-        for iter in 0..p.warmup + p.iterations {
-            let measured = iter >= p.warmup;
-            for _ in 0..p.objects {
-                let slot = free_slots.pop().expect("enough root slots per thread");
-                let size = poisson_size(&mut rng);
-                t.malloc_to(size, crate::harness::spread_root(&**alloc, slot)).expect("alloc");
-                live.push(slot);
-                if measured {
-                    ops += 1;
+        // Tag the worker so profiled runs attribute samples by workload
+        // name instead of symbolizing a backtrace per sample.
+        nvalloc::prof::with_site("dbmstest", || {
+            let base = k * per_thread;
+            let mut rng = SmallRng::seed_from_u64(p.seed ^ (k as u64) << 32);
+            let mut live: Vec<usize> = Vec::new();
+            // Free-slot stack: a slot is reused only after its object is freed.
+            let mut free_slots: Vec<usize> = (0..per_thread).rev().map(|i| base + i).collect();
+            let mut ops = 0u64;
+            for iter in 0..p.warmup + p.iterations {
+                let measured = iter >= p.warmup;
+                for _ in 0..p.objects {
+                    let slot = free_slots.pop().expect("enough root slots per thread");
+                    let size = poisson_size(&mut rng);
+                    t.malloc_to(size, crate::harness::spread_root(&**alloc, slot)).expect("alloc");
+                    live.push(slot);
+                    if measured {
+                        ops += 1;
+                    }
+                }
+                live.shuffle(&mut rng);
+                let del = (live.len() as f64 * p.delete_ratio) as usize;
+                for slot in live.drain(..del) {
+                    t.free_from(crate::harness::spread_root(&**alloc, slot)).expect("free");
+                    free_slots.push(slot);
+                    if measured {
+                        ops += 1;
+                    }
                 }
             }
-            live.shuffle(&mut rng);
-            let del = (live.len() as f64 * p.delete_ratio) as usize;
-            for slot in live.drain(..del) {
+            for slot in live {
                 t.free_from(crate::harness::spread_root(&**alloc, slot)).expect("free");
-                free_slots.push(slot);
-                if measured {
-                    ops += 1;
-                }
             }
-        }
-        for slot in live {
-            t.free_from(crate::harness::spread_root(&**alloc, slot)).expect("free");
-        }
-        ops
+            ops
+        })
     })
 }
 

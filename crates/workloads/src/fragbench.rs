@@ -204,23 +204,45 @@ pub fn run_sampled(
         }
     };
 
-    // Before.
-    phase(&mut t, &mut rng, &mut live, &mut live_bytes, &mut free_slots, w.before, &mut ops, sink);
-    // Delete.
-    let del = (live.len() as f64 * w.delete_ratio) as usize;
-    for _ in 0..del {
-        let i = rng.gen_range(0..live.len());
-        let (slot, sz) = live.swap_remove(i);
-        t.free_from(alloc.root_offset(slot)).expect("free");
-        live_bytes -= sz;
-        free_slots.push(slot);
-        ops += 1;
-        if ops.is_multiple_of(every) {
-            sink(point(alloc, &*t, ops, live_bytes));
+    // Tag the churn so profiled runs attribute samples by workload name
+    // instead of symbolizing a backtrace per sample.
+    nvalloc::prof::with_site("fragbench", || {
+        // Before.
+        phase(
+            &mut t,
+            &mut rng,
+            &mut live,
+            &mut live_bytes,
+            &mut free_slots,
+            w.before,
+            &mut ops,
+            sink,
+        );
+        // Delete.
+        let del = (live.len() as f64 * w.delete_ratio) as usize;
+        for _ in 0..del {
+            let i = rng.gen_range(0..live.len());
+            let (slot, sz) = live.swap_remove(i);
+            t.free_from(alloc.root_offset(slot)).expect("free");
+            live_bytes -= sz;
+            free_slots.push(slot);
+            ops += 1;
+            if ops.is_multiple_of(every) {
+                sink(point(alloc, &*t, ops, live_bytes));
+            }
         }
-    }
-    // After.
-    phase(&mut t, &mut rng, &mut live, &mut live_bytes, &mut free_slots, w.after, &mut ops, sink);
+        // After.
+        phase(
+            &mut t,
+            &mut rng,
+            &mut live,
+            &mut live_bytes,
+            &mut free_slots,
+            w.after,
+            &mut ops,
+            sink,
+        );
+    });
 
     let elapsed_ns = t.pm().virtual_ns() + ops * crate::harness::CPU_NS_PER_OP;
     drop(t); // merge the thread's telemetry histograms before snapshotting

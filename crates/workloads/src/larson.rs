@@ -40,41 +40,48 @@ impl Params {
 /// Run Larson. Thread *k* frees what thread *k−1* allocated in the previous
 /// round (the paper's thread-handoff behaviour); `ops` counts allocations +
 /// frees.
+///
+/// The worker runs under a [`nvalloc::prof::with_site`] tag, so profiled
+/// runs attribute sampled allocations to the workload by name instead of
+/// paying a backtrace symbolization per sample.
 pub fn run(alloc: &Arc<dyn PmAllocator>, p: Params) -> BenchMeasurement {
     let per_thread = alloc.root_count() / crate::harness::ROOT_SPREAD / p.threads.max(1);
     assert!(p.slots <= per_thread);
     let barrier = Arc::new(std::sync::Barrier::new(p.threads));
     run_threads(alloc, p.threads, |k, t| {
-        let mut rng = SmallRng::seed_from_u64(p.seed ^ (k as u64) << 32);
-        let mut ops = 0u64;
-        for round in 0..p.rounds {
-            // Free the slots the *previous* thread filled last round, then
-            // (after every free landed) refill our own. The two barriers
-            // keep free and alloc phases from racing on the same slot.
-            if round > 0 {
-                let prev = (k + p.threads - 1) % p.threads;
-                let base = prev * per_thread;
+        nvalloc::prof::with_site("larson", || {
+            let mut rng = SmallRng::seed_from_u64(p.seed ^ (k as u64) << 32);
+            let mut ops = 0u64;
+            for round in 0..p.rounds {
+                // Free the slots the *previous* thread filled last round, then
+                // (after every free landed) refill our own. The two barriers
+                // keep free and alloc phases from racing on the same slot.
+                if round > 0 {
+                    let prev = (k + p.threads - 1) % p.threads;
+                    let base = prev * per_thread;
+                    for i in 0..p.slots {
+                        t.free_from(crate::harness::spread_root(&**alloc, base + i)).expect("free");
+                        ops += 1;
+                    }
+                }
+                barrier.wait();
+                let base = k * per_thread;
                 for i in 0..p.slots {
-                    t.free_from(crate::harness::spread_root(&**alloc, base + i)).expect("free");
+                    let size = rng.gen_range(p.size_range.0..=p.size_range.1);
+                    t.malloc_to(size, crate::harness::spread_root(&**alloc, base + i))
+                        .expect("alloc");
                     ops += 1;
                 }
+                barrier.wait();
             }
-            barrier.wait();
+            // Drain own slots.
             let base = k * per_thread;
             for i in 0..p.slots {
-                let size = rng.gen_range(p.size_range.0..=p.size_range.1);
-                t.malloc_to(size, crate::harness::spread_root(&**alloc, base + i)).expect("alloc");
+                t.free_from(crate::harness::spread_root(&**alloc, base + i)).expect("free");
                 ops += 1;
             }
-            barrier.wait();
-        }
-        // Drain own slots.
-        let base = k * per_thread;
-        for i in 0..p.slots {
-            t.free_from(crate::harness::spread_root(&**alloc, base + i)).expect("free");
-            ops += 1;
-        }
-        ops
+            ops
+        })
     })
 }
 

@@ -112,14 +112,16 @@ pub mod allocators {
             trace: bool,
             trace_events: usize,
         ) -> Arc<dyn PmAllocator> {
-            self.create_observed(pool, roots, trace, trace_events, 0)
+            self.create_observed(pool, roots, trace, trace_events, 0, 0)
         }
 
         /// Like [`Which::create_traced`], additionally switching the
         /// NVAlloc heap-observatory timeline sampler on when
         /// `timeline_ns` is non-zero (the tick interval in virtual
-        /// nanoseconds). The baselines have neither a flight recorder
-        /// nor a sampler; they ignore all three knobs.
+        /// nanoseconds) and the sampled heap profiler on when
+        /// `profile_sample` is non-zero (the sampling period in bytes).
+        /// The baselines have no flight recorder, sampler, or profiler;
+        /// they ignore all four knobs.
         pub fn create_observed(
             self,
             pool: Arc<PmemPool>,
@@ -127,12 +129,14 @@ pub mod allocators {
             trace: bool,
             trace_events: usize,
             timeline_ns: u64,
+            profile_sample: u64,
         ) -> Arc<dyn PmAllocator> {
             let cfg = |c: NvConfig| {
                 c.roots(roots)
                     .trace(trace)
                     .trace_events_per_thread(trace_events)
                     .timeline(timeline_ns)
+                    .profiling(profile_sample)
             };
             match self {
                 Which::NvallocLog => {

@@ -20,22 +20,26 @@ pub fn build(alloc: &Arc<dyn PmAllocator>, n: usize, seed: u64) -> u64 {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut dest = alloc.root_offset(0);
     let mut head = 0;
-    for i in 0..n {
-        let size = rng.gen_range(64..=128);
-        let node = t.malloc_to(size, dest).expect("alloc node");
-        if i == 0 {
-            head = node;
+    // Tag the build so profiled runs attribute samples by workload name
+    // instead of symbolizing a backtrace per sample.
+    nvalloc::prof::with_site("linkedlist", || {
+        for i in 0..n {
+            let size = rng.gen_range(64..=128);
+            let node = t.malloc_to(size, dest).expect("alloc node");
+            if i == 0 {
+                head = node;
+            }
+            // Payload tag + zeroed next pointer, persisted like an application
+            // would (required for the GC variant's reachability).
+            pool.write_u64(node, 0);
+            pool.write_u64(node + 8, i as u64);
+            pool.charge_store(t.pm_mut(), node, 16);
+            pool.flush(t.pm_mut(), node, 16, FlushKind::Data);
+            pool.flush(t.pm_mut(), dest, 8, FlushKind::Data);
+            pool.fence(t.pm_mut());
+            dest = node; // next node chains into this node's first word
         }
-        // Payload tag + zeroed next pointer, persisted like an application
-        // would (required for the GC variant's reachability).
-        pool.write_u64(node, 0);
-        pool.write_u64(node + 8, i as u64);
-        pool.charge_store(t.pm_mut(), node, 16);
-        pool.flush(t.pm_mut(), node, 16, FlushKind::Data);
-        pool.flush(t.pm_mut(), dest, 8, FlushKind::Data);
-        pool.fence(t.pm_mut());
-        dest = node; // next node chains into this node's first word
-    }
+    });
     head
 }
 

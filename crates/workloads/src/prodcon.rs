@@ -42,43 +42,48 @@ pub fn run(alloc: &Arc<dyn PmAllocator>, p: Params) -> BenchMeasurement {
     let channels = Arc::new(channels);
 
     run_threads(alloc, threads, move |k, t| {
-        let pair = k / 2;
-        let base = pair * per_pair;
-        let mut ops = 0u64;
-        if k % 2 == 0 {
-            // Producer.
-            let tx = channels[pair].0.clone();
-            let mut next = 0usize;
-            let mut batch = Vec::with_capacity(p.batch);
-            for _ in 0..p.objects {
-                let slot = base + next;
-                next = (next + 1) % per_pair;
-                t.malloc_to(p.size, crate::harness::spread_root(&**alloc, slot)).expect("alloc");
-                ops += 1;
-                batch.push(slot);
-                if batch.len() == p.batch {
-                    tx.send(std::mem::take(&mut batch)).expect("consumer alive");
-                }
-            }
-            if !batch.is_empty() {
-                tx.send(batch).expect("consumer alive");
-            }
-            drop(tx);
-        } else {
-            // Consumer: the producer keeps a clone of the sender, so rely
-            // on the object count.
-            let rx = channels[pair].1.clone();
-            let mut freed = 0usize;
-            while freed < p.objects {
-                let batch = rx.recv().expect("producer sends all objects");
-                for slot in batch {
-                    t.free_from(crate::harness::spread_root(&**alloc, slot)).expect("free");
-                    freed += 1;
+        // Tag the worker so profiled runs attribute samples by workload
+        // name instead of symbolizing a backtrace per sample.
+        nvalloc::prof::with_site("prodcon", || {
+            let pair = k / 2;
+            let base = pair * per_pair;
+            let mut ops = 0u64;
+            if k % 2 == 0 {
+                // Producer.
+                let tx = channels[pair].0.clone();
+                let mut next = 0usize;
+                let mut batch = Vec::with_capacity(p.batch);
+                for _ in 0..p.objects {
+                    let slot = base + next;
+                    next = (next + 1) % per_pair;
+                    t.malloc_to(p.size, crate::harness::spread_root(&**alloc, slot))
+                        .expect("alloc");
                     ops += 1;
+                    batch.push(slot);
+                    if batch.len() == p.batch {
+                        tx.send(std::mem::take(&mut batch)).expect("consumer alive");
+                    }
+                }
+                if !batch.is_empty() {
+                    tx.send(batch).expect("consumer alive");
+                }
+                drop(tx);
+            } else {
+                // Consumer: the producer keeps a clone of the sender, so rely
+                // on the object count.
+                let rx = channels[pair].1.clone();
+                let mut freed = 0usize;
+                while freed < p.objects {
+                    let batch = rx.recv().expect("producer sends all objects");
+                    for slot in batch {
+                        t.free_from(crate::harness::spread_root(&**alloc, slot)).expect("free");
+                        freed += 1;
+                        ops += 1;
+                    }
                 }
             }
-        }
-        ops
+            ops
+        })
     })
 }
 

@@ -74,71 +74,75 @@ pub fn run(alloc: &Arc<dyn PmAllocator>, p: Params) -> BenchMeasurement {
     let channels = Arc::new(channels);
 
     run_threads(alloc, threads, move |k, t| {
-        let mut rng = SmallRng::seed_from_u64(p.seed ^ (k as u64) << 32);
-        let tx = channels[(k + 1) % threads].0.clone();
-        let rx = channels[k].1.clone();
-        let base = k * span;
-        let mut next_remote = 0usize;
-        let mut pred_done = false;
-        let mut ops = 0u64;
-        for _ in 0..p.ops {
-            // Free whatever the ring predecessor handed over so far.
-            while let Ok(slot) = rx.try_recv() {
-                if slot == DONE {
-                    pred_done = true;
-                    break; // FIFO: nothing follows the sentinel
-                }
-                t.free_from(spread_root(&**alloc, slot)).expect("remote free");
-                ops += 1;
-            }
-            let size = if p.large_frac > 0.0 && rng.gen::<f64>() < p.large_frac {
-                LARGE_SIZES[rng.gen_range(0..LARGE_SIZES.len())]
-            } else {
-                SIZES[rng.gen_range(0..SIZES.len())]
-            };
-            if threads > 1 && rng.gen::<f64>() < p.remote_frac {
-                let slot = base + 1 + next_remote;
-                next_remote = (next_remote + 1) % remote_ring;
-                t.malloc_to(size, spread_root(&**alloc, slot)).expect("alloc");
-                ops += 1;
-                if tx.try_send(slot).is_err() {
-                    // Neighbour saturated: free here so the ring never
-                    // stalls (the slot is recycled either way).
-                    t.free_from(spread_root(&**alloc, slot)).expect("free");
+        // Tag the worker so profiled runs attribute samples by workload
+        // name instead of symbolizing a backtrace per sample.
+        nvalloc::prof::with_site("remote_mix", || {
+            let mut rng = SmallRng::seed_from_u64(p.seed ^ (k as u64) << 32);
+            let tx = channels[(k + 1) % threads].0.clone();
+            let rx = channels[k].1.clone();
+            let base = k * span;
+            let mut next_remote = 0usize;
+            let mut pred_done = false;
+            let mut ops = 0u64;
+            for _ in 0..p.ops {
+                // Free whatever the ring predecessor handed over so far.
+                while let Ok(slot) = rx.try_recv() {
+                    if slot == DONE {
+                        pred_done = true;
+                        break; // FIFO: nothing follows the sentinel
+                    }
+                    t.free_from(spread_root(&**alloc, slot)).expect("remote free");
                     ops += 1;
                 }
-            } else {
-                let root = spread_root(&**alloc, base);
-                t.malloc_to(size, root).expect("alloc");
-                t.free_from(root).expect("free");
-                ops += 2;
-            }
-        }
-        // Shutdown: push the sentinel, draining our own inbox while the
-        // neighbour's channel is full (every thread keeps draining, so
-        // every channel keeps emptying — no deadlock).
-        while tx.try_send(DONE).is_err() {
-            while let Ok(slot) = rx.try_recv() {
-                if slot == DONE {
-                    pred_done = true;
-                    break;
+                let size = if p.large_frac > 0.0 && rng.gen::<f64>() < p.large_frac {
+                    LARGE_SIZES[rng.gen_range(0..LARGE_SIZES.len())]
+                } else {
+                    SIZES[rng.gen_range(0..SIZES.len())]
+                };
+                if threads > 1 && rng.gen::<f64>() < p.remote_frac {
+                    let slot = base + 1 + next_remote;
+                    next_remote = (next_remote + 1) % remote_ring;
+                    t.malloc_to(size, spread_root(&**alloc, slot)).expect("alloc");
+                    ops += 1;
+                    if tx.try_send(slot).is_err() {
+                        // Neighbour saturated: free here so the ring never
+                        // stalls (the slot is recycled either way).
+                        t.free_from(spread_root(&**alloc, slot)).expect("free");
+                        ops += 1;
+                    }
+                } else {
+                    let root = spread_root(&**alloc, base);
+                    t.malloc_to(size, root).expect("alloc");
+                    t.free_from(root).expect("free");
+                    ops += 2;
                 }
-                t.free_from(spread_root(&**alloc, slot)).expect("drain free");
-                ops += 1;
             }
-            std::thread::yield_now();
-        }
-        while !pred_done {
-            match rx.recv() {
-                Ok(slot) if slot == DONE => pred_done = true,
-                Ok(slot) => {
+            // Shutdown: push the sentinel, draining our own inbox while the
+            // neighbour's channel is full (every thread keeps draining, so
+            // every channel keeps emptying — no deadlock).
+            while tx.try_send(DONE).is_err() {
+                while let Ok(slot) = rx.try_recv() {
+                    if slot == DONE {
+                        pred_done = true;
+                        break;
+                    }
                     t.free_from(spread_root(&**alloc, slot)).expect("drain free");
                     ops += 1;
                 }
-                Err(_) => break,
+                std::thread::yield_now();
             }
-        }
-        ops
+            while !pred_done {
+                match rx.recv() {
+                    Ok(slot) if slot == DONE => pred_done = true,
+                    Ok(slot) => {
+                        t.free_from(spread_root(&**alloc, slot)).expect("drain free");
+                        ops += 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+            ops
+        })
     })
 }
 

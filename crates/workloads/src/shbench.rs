@@ -40,29 +40,33 @@ pub fn run(alloc: &Arc<dyn PmAllocator>, p: Params) -> BenchMeasurement {
     let per_thread = alloc.root_count() / crate::harness::ROOT_SPREAD / p.threads.max(1);
     assert!(p.live_window < per_thread);
     run_threads(alloc, p.threads, |k, t| {
-        let base = k * per_thread;
-        let mut rng = SmallRng::seed_from_u64(p.seed ^ (k as u64) << 32);
-        let mut ops = 0u64;
-        let mut next = 0usize;
-        let mut live = std::collections::VecDeque::new();
-        for _ in 0..p.iterations {
-            let slot = base + next;
-            next = (next + 1) % per_thread;
-            let size = skewed_size(&mut rng);
-            t.malloc_to(size, crate::harness::spread_root(&**alloc, slot)).expect("alloc");
-            live.push_back(slot);
-            ops += 1;
-            if live.len() > p.live_window {
-                let victim = live.pop_front().expect("nonempty");
-                t.free_from(crate::harness::spread_root(&**alloc, victim)).expect("free");
+        // Tag the worker so profiled runs attribute samples by workload
+        // name instead of symbolizing a backtrace per sample.
+        nvalloc::prof::with_site("shbench", || {
+            let base = k * per_thread;
+            let mut rng = SmallRng::seed_from_u64(p.seed ^ (k as u64) << 32);
+            let mut ops = 0u64;
+            let mut next = 0usize;
+            let mut live = std::collections::VecDeque::new();
+            for _ in 0..p.iterations {
+                let slot = base + next;
+                next = (next + 1) % per_thread;
+                let size = skewed_size(&mut rng);
+                t.malloc_to(size, crate::harness::spread_root(&**alloc, slot)).expect("alloc");
+                live.push_back(slot);
+                ops += 1;
+                if live.len() > p.live_window {
+                    let victim = live.pop_front().expect("nonempty");
+                    t.free_from(crate::harness::spread_root(&**alloc, victim)).expect("free");
+                    ops += 1;
+                }
+            }
+            for slot in live {
+                t.free_from(crate::harness::spread_root(&**alloc, slot)).expect("free");
                 ops += 1;
             }
-        }
-        for slot in live {
-            t.free_from(crate::harness::spread_root(&**alloc, slot)).expect("free");
-            ops += 1;
-        }
-        ops
+            ops
+        })
     })
 }
 

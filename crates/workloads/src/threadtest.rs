@@ -36,19 +36,23 @@ pub fn run(alloc: &Arc<dyn PmAllocator>, p: Params) -> BenchMeasurement {
         p.objects
     );
     run_threads(alloc, p.threads, |k, t| {
-        let base = k * per_thread;
-        let mut ops = 0u64;
-        for _ in 0..p.iterations {
-            for i in 0..p.objects {
-                t.malloc_to(p.size, crate::harness::spread_root(&**alloc, base + i))
-                    .expect("alloc");
+        // Tag the worker so profiled runs attribute samples by workload
+        // name instead of symbolizing a backtrace per sample.
+        nvalloc::prof::with_site("threadtest", || {
+            let base = k * per_thread;
+            let mut ops = 0u64;
+            for _ in 0..p.iterations {
+                for i in 0..p.objects {
+                    t.malloc_to(p.size, crate::harness::spread_root(&**alloc, base + i))
+                        .expect("alloc");
+                }
+                for i in 0..p.objects {
+                    t.free_from(crate::harness::spread_root(&**alloc, base + i)).expect("free");
+                }
+                ops += 2 * p.objects as u64;
             }
-            for i in 0..p.objects {
-                t.free_from(crate::harness::spread_root(&**alloc, base + i)).expect("free");
-            }
-            ops += 2 * p.objects as u64;
-        }
-        ops
+            ops
+        })
     })
 }
 

@@ -59,9 +59,11 @@ fn same_seed_runs_emit_byte_identical_timelines() {
     assert!(!ja.is_empty(), "virtual-clock churn must produce samples");
     assert!(ja.lines().count() > 5, "expected a real series, got {} lines", ja.lines().count());
     assert_eq!(ja, jb, "same seed, same config: timelines must be byte-identical");
-    // Every line is one JSON object with the fixed leading keys.
+    // Every line is one JSON object with the fixed leading keys; the
+    // schema version tag leads so downstream parsers can dispatch on it
+    // before reading anything else.
     for line in ja.lines() {
-        assert!(line.starts_with("{\"sample\":"), "bad line shape: {line}");
+        assert!(line.starts_with("{\"schema_version\":2,\"sample\":"), "bad line shape: {line}");
         assert!(line.ends_with('}'), "bad line shape: {line}");
         assert!(line.contains("\"external_frag\":") && line.contains("\"latency\":"));
     }

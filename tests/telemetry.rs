@@ -167,6 +167,13 @@ fn measurement_json_is_parseable_shape() {
     for key in ["\"bench\":", "\"stats\":", "\"metrics\":", "\"hist\":", "\"malloc_small\":"] {
         assert!(line.contains(key), "missing {key} in {line}");
     }
+    // The embedded metrics object leads with its schema version so a
+    // consumer can dispatch before reading counters, and always carries
+    // the profiler counters (zero when profiling is off).
+    assert!(line.contains("{\"schema_version\":2,"), "missing schema_version in {line}");
+    for key in ["\"prof_samples\":0", "\"prof_dropped\":0"] {
+        assert!(line.contains(key), "missing {key} in {line}");
+    }
 }
 
 /// Arbitrary text including control characters and non-BMP code points,
